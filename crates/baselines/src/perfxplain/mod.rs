@@ -1,0 +1,17 @@
+//! Re-implementation of **PerfXplain** (Khoussainova, Balazinska, Suciu —
+//! PVLDB 2012), the predicate-based performance-explanation baseline the
+//! DBSherlock paper compares against (§8.4).
+//!
+//! PerfXplain answers "why was job A slower than job B?" over MapReduce
+//! logs by learning a conjunction of coarse pairwise comparison features.
+//! Following the DBSherlock paper, the adaptation here operates on pairs of
+//! telemetry tuples and uses the query
+//! `EXPECTED avg_latency_difference = insignificant OBSERVED
+//! avg_latency_difference = significant` with a 50% significance
+//! threshold, 2000 sampled pairs, weight 0.8, and 2 predicates.
+
+pub mod explain;
+pub mod features;
+
+pub use explain::{PairPredicate, PerfXplain, PerfXplainConfig, TrainingSet};
+pub use features::{compare_numeric, pair_feature, PairFeature, SIMILARITY_TOLERANCE};

@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the comparison baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbsherlock_baselines::{perfaugur_detect, PerfAugurConfig, PerfXplain, PerfXplainConfig, TrainingSet};
+use dbsherlock_simulator::{AnomalyKind, Injection, LabeledDataset, Scenario, WorkloadConfig};
+use dbsherlock_telemetry::Region;
+use std::hint::black_box;
+
+fn incidents(n: usize) -> Vec<LabeledDataset> {
+    (0..n as u64)
+        .map(|i| {
+            Scenario::new(WorkloadConfig::tpcc_default(), 170, 50 + i)
+                .with_injection(Injection::new(AnomalyKind::CpuSaturation, 60, 50))
+                .run()
+        })
+        .collect()
+}
+
+fn bench_perfxplain(c: &mut Criterion) {
+    let train = incidents(4);
+    let regions: Vec<Region> = train.iter().map(|l| l.abnormal_region()).collect();
+    let sets: Vec<TrainingSet<'_>> = train
+        .iter()
+        .zip(&regions)
+        .map(|(l, r)| TrainingSet { data: &l.data, abnormal: r })
+        .collect();
+    let mut group = c.benchmark_group("perfxplain");
+    group.sample_size(10);
+    group.bench_function("train_2000_pairs", |b| {
+        b.iter(|| black_box(PerfXplain::train(black_box(&sets), PerfXplainConfig::default())))
+    });
+    let model = PerfXplain::train(&sets, PerfXplainConfig::default()).unwrap();
+    let test = &train[0];
+    group.bench_function("predict_170_rows", |b| {
+        b.iter(|| black_box(model.predict(black_box(&test.data))))
+    });
+    group.finish();
+}
+
+fn bench_perfaugur(c: &mut Criterion) {
+    let long = Scenario::new(WorkloadConfig::tpcc_default(), 660, 9)
+        .with_injection(Injection::new(AnomalyKind::IoSaturation, 300, 60))
+        .run();
+    let mut group = c.benchmark_group("perfaugur");
+    group.sample_size(10);
+    group.bench_function("naive_window_search_660s", |b| {
+        b.iter(|| black_box(perfaugur_detect(black_box(&long.data), &PerfAugurConfig::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_perfxplain, bench_perfaugur);
+criterion_main!(benches);

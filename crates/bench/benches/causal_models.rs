@@ -1,0 +1,65 @@
+//! Criterion benchmarks for causal-model operations: confidence (Eq. 3),
+//! merging (§6.2), and full-repository ranking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbsherlock_core::{
+    generate_predicates, merge_models, CausalModel, ModelRepository, SherlockParams,
+};
+use dbsherlock_simulator::{AnomalyKind, Injection, Scenario, WorkloadConfig};
+use std::hint::black_box;
+
+fn model_for(kind: AnomalyKind, seed: u64, params: &SherlockParams) -> CausalModel {
+    let labeled = Scenario::new(WorkloadConfig::tpcc_default(), 170, seed)
+        .with_injection(Injection::new(kind, 60, 50))
+        .run();
+    let predicates = generate_predicates(
+        &labeled.data,
+        &labeled.abnormal_region(),
+        &labeled.normal_region(),
+        params,
+    );
+    CausalModel::from_feedback(kind.name(), &predicates)
+}
+
+fn bench_confidence(c: &mut Criterion) {
+    let params = SherlockParams::default();
+    let model = model_for(AnomalyKind::CpuSaturation, 1, &params);
+    let labeled = Scenario::new(WorkloadConfig::tpcc_default(), 170, 2)
+        .with_injection(Injection::new(AnomalyKind::CpuSaturation, 60, 50))
+        .run();
+    let abnormal = labeled.abnormal_region();
+    let normal = labeled.normal_region();
+    c.bench_function("causal/confidence_eq3", |b| {
+        b.iter(|| {
+            black_box(model.confidence(black_box(&labeled.data), &abnormal, &normal, &params))
+        })
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let params = SherlockParams::for_merging();
+    let m1 = model_for(AnomalyKind::WorkloadSpike, 3, &params);
+    let m2 = model_for(AnomalyKind::WorkloadSpike, 4, &params);
+    c.bench_function("causal/merge_two_models", |b| {
+        b.iter(|| black_box(merge_models(black_box(&m1), black_box(&m2))))
+    });
+}
+
+fn bench_rank_repository(c: &mut Criterion) {
+    let params = SherlockParams::default();
+    let mut repo = ModelRepository::new();
+    for (i, kind) in AnomalyKind::ALL.into_iter().enumerate() {
+        repo.add(model_for(kind, 10 + i as u64, &params));
+    }
+    let labeled = Scenario::new(WorkloadConfig::tpcc_default(), 170, 99)
+        .with_injection(Injection::new(AnomalyKind::LockContention, 60, 50))
+        .run();
+    let abnormal = labeled.abnormal_region();
+    let normal = labeled.normal_region();
+    c.bench_function("causal/rank_10_models", |b| {
+        b.iter(|| black_box(repo.rank(black_box(&labeled.data), &abnormal, &normal, &params)))
+    });
+}
+
+criterion_group!(benches, bench_confidence, bench_merge, bench_rank_repository);
+criterion_main!(benches);

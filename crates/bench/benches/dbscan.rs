@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the clustering substrate (§7's DBSCAN +
+//! k-dist) and the full automatic detector.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbsherlock_cluster::{dbscan, kdist_list, Point};
+use dbsherlock_core::{detect_anomaly, SherlockParams};
+use dbsherlock_simulator::{AnomalyKind, Injection, Scenario, WorkloadConfig};
+use std::hint::black_box;
+
+fn synthetic_points(n: usize, dims: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let base = if i % 10 == 0 { 1.0 } else { 0.0 };
+            (0..dims)
+                .map(|d| base + ((i * 37 + d * 11) % 100) as f64 / 1000.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_dbscan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbscan/points");
+    group.sample_size(20);
+    for n in [100usize, 200, 400, 800] {
+        let points = synthetic_points(n, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(dbscan(black_box(&points), 0.08, 3)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kdist(c: &mut Criterion) {
+    let points = synthetic_points(400, 8);
+    c.bench_function("dbscan/kdist_400", |b| {
+        b.iter(|| black_box(kdist_list(black_box(&points), 3)))
+    });
+}
+
+fn bench_full_detector(c: &mut Criterion) {
+    let labeled = Scenario::new(WorkloadConfig::tpcc_default(), 660, 5)
+        .with_injection(Injection::new(AnomalyKind::IoSaturation, 300, 60))
+        .run();
+    let params = SherlockParams::default();
+    let mut group = c.benchmark_group("detector");
+    group.sample_size(10);
+    group.bench_function("full_pipeline_660s", |b| {
+        b.iter(|| black_box(detect_anomaly(black_box(&labeled.data), &params)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dbscan, bench_kdist, bench_full_detector);
+criterion_main!(benches);

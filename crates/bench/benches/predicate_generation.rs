@@ -1,0 +1,60 @@
+//! Criterion benchmarks for Algorithm 1 (paper §4.6 claims
+//! O(k(X + R)) per diagnosis: linear in tuples, partitions, attributes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbsherlock_core::{generate_predicates, SherlockParams};
+use dbsherlock_simulator::{AnomalyKind, Injection, Scenario, WorkloadConfig};
+use std::hint::black_box;
+
+fn dataset_of(rows: usize) -> dbsherlock_simulator::LabeledDataset {
+    Scenario::new(WorkloadConfig::tpcc_default(), rows, 42)
+        .with_injection(Injection::new(AnomalyKind::IoSaturation, rows / 3, rows / 4))
+        .run()
+}
+
+fn bench_vs_partitions(c: &mut Criterion) {
+    let labeled = dataset_of(180);
+    let abnormal = labeled.abnormal_region();
+    let normal = labeled.normal_region();
+    let mut group = c.benchmark_group("predicate_generation/vs_R");
+    group.sample_size(20);
+    for r in [125usize, 250, 500, 1000, 2000] {
+        let params = SherlockParams::default().with_partitions(r);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, _| {
+            b.iter(|| {
+                black_box(generate_predicates(
+                    black_box(&labeled.data),
+                    &abnormal,
+                    &normal,
+                    &params,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predicate_generation/vs_X");
+    group.sample_size(20);
+    for rows in [120usize, 240, 480, 960] {
+        let labeled = dataset_of(rows);
+        let abnormal = labeled.abnormal_region();
+        let normal = labeled.normal_region();
+        let params = SherlockParams::default();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(generate_predicates(
+                    black_box(&labeled.data),
+                    &abnormal,
+                    &normal,
+                    &params,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_partitions, bench_vs_rows);
+criterion_main!(benches);

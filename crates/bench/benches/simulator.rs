@@ -1,0 +1,39 @@
+//! Criterion benchmarks for the OLTP simulator substrate: tick throughput
+//! and full-scenario generation (the corpus generator's hot path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbsherlock_simulator::{
+    AnomalyKind, Engine, Injection, NoiseModel, Perturbation, Scenario, ServerConfig,
+    WorkloadConfig,
+};
+use std::hint::black_box;
+
+fn bench_engine_ticks(c: &mut Criterion) {
+    c.bench_function("simulator/1000_ticks", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(
+                ServerConfig::default(),
+                WorkloadConfig::tpcc_default(),
+                NoiseModel::default(),
+                7,
+            );
+            let p = Perturbation::default();
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += engine.step(&p).numeric.txn_throughput;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_scenario(c: &mut Criterion) {
+    let scenario = Scenario::new(WorkloadConfig::tpcc_default(), 170, 11)
+        .with_injection(Injection::new(AnomalyKind::WorkloadSpike, 60, 50));
+    c.bench_function("simulator/standard_scenario_170s", |b| {
+        b.iter(|| black_box(scenario.run()))
+    });
+}
+
+criterion_group!(benches, bench_engine_ticks, bench_scenario);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table 1: the ten anomaly classes and a summary of their simulated
+//! telemetry signatures on the standard corpus.
+
+use dbsherlock_bench::{num, tpcc_corpus, Table};
+use dbsherlock_simulator::AnomalyKind;
+use dbsherlock_telemetry::stats;
+
+fn main() {
+    let corpus = tpcc_corpus();
+    let mut table = Table::new(
+        "Table 1 — anomaly classes (mean latency & throughput, normal vs abnormal)",
+        &["Type of anomaly", "lat N (ms)", "lat A (ms)", "tps N", "tps A", "Description"],
+    );
+    for kind in AnomalyKind::ALL {
+        let mut lat = (Vec::new(), Vec::new());
+        let mut tps = (Vec::new(), Vec::new());
+        for entry in corpus.iter().filter(|e| e.kind == kind) {
+            let data = &entry.labeled.data;
+            let latency = data.numeric_by_name("txn_avg_latency_ms").unwrap();
+            let throughput = data.numeric_by_name("txn_throughput").unwrap();
+            let abnormal = entry.labeled.abnormal_region();
+            for row in 0..data.n_rows() {
+                if abnormal.contains(row) {
+                    lat.1.push(latency[row]);
+                    tps.1.push(throughput[row]);
+                } else {
+                    lat.0.push(latency[row]);
+                    tps.0.push(throughput[row]);
+                }
+            }
+        }
+        table.row(vec![
+            kind.name().to_string(),
+            num(stats::mean(&lat.0)),
+            num(stats::mean(&lat.1)),
+            num(stats::mean(&tps.0)),
+            num(stats::mean(&tps.1)),
+            kind.description().chars().take(60).collect(),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,68 @@
+//! Figure 10 (§8.7): explaining compound situations — two or three
+//! anomalies active simultaneously.
+//!
+//! Paper setup: per-class causal models merged from *every* dataset of the
+//! class; explanations generated for six compound scenarios; reported are
+//! the ratio of correct causes found in the top-3 shown causes and the
+//! average F1-measure of the correct causes' models.
+
+use dbsherlock_bench::{
+    merged_model, of_kind, pct, repository_from, tpcc_corpus, write_json, Table, CORPUS_SEED,
+};
+use dbsherlock_core::SherlockParams;
+use dbsherlock_simulator::{compound_cases, compound_dataset, Benchmark};
+
+fn main() {
+    let corpus = tpcc_corpus();
+    let params = SherlockParams::for_merging();
+    // Models merged from every dataset of each class (§8.7).
+    let models: Vec<_> = dbsherlock_simulator::AnomalyKind::ALL
+        .iter()
+        .map(|&kind| merged_model(&of_kind(corpus, kind), &params, None))
+        .collect();
+    let repo = repository_from(models.clone());
+
+    let mut table = Table::new(
+        "Figure 10 — compound situations (top-3 causes shown)",
+        &["Compound test case", "Correct causes found", "Avg F1 of correct causes"],
+    );
+    let mut rows_json = Vec::new();
+    let (mut found_total, mut truth_total) = (0usize, 0usize);
+    for (i, (name, kinds)) in compound_cases().into_iter().enumerate() {
+        let labeled = compound_dataset(Benchmark::TpccLike, &kinds, CORPUS_SEED ^ (i as u64 + 1));
+        let abnormal = labeled.abnormal_region();
+        let normal = labeled.normal_region();
+        let ranked = repo.rank(&labeled.data, &abnormal, &normal, &params);
+        let top3: Vec<&str> = ranked.iter().take(3).map(|r| r.cause.as_str()).collect();
+        let found = kinds.iter().filter(|k| top3.contains(&k.name())).count();
+        found_total += found;
+        truth_total += kinds.len();
+        // F1 of each correct cause's model on the compound dataset.
+        let f1_sum: f64 = kinds
+            .iter()
+            .map(|k| {
+                models
+                    .iter()
+                    .find(|m| m.cause == k.name())
+                    .map(|m| m.f1(&labeled.data, &abnormal).f1)
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        let f1_avg = f1_sum / kinds.len() as f64 * 100.0;
+        let ratio = found as f64 / kinds.len() as f64 * 100.0;
+        table.row(vec![name.to_string(), pct(ratio), pct(f1_avg)]);
+        rows_json.push(serde_json::json!({
+            "case": name, "found": found, "expected": kinds.len(),
+            "ratio_pct": ratio, "f1_pct": f1_avg,
+            "top3": top3,
+        }));
+    }
+    let overall = found_total as f64 / truth_total as f64 * 100.0;
+    table.row(vec!["OVERALL".into(), pct(overall), String::new()]);
+    table.print();
+    println!(
+        "\nPaper: explanations contain more than two-thirds of the correct causes on\n  average (Workload Spike is masked when combined with Network Congestion).\nMeasured: {} of correct causes appear in the top-3.",
+        pct(overall),
+    );
+    write_json("fig10_compound", &serde_json::json!({ "rows": rows_json, "overall_pct": overall }));
+}

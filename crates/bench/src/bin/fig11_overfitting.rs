@@ -1,0 +1,120 @@
+//! Figure 11 (Appendix B): merging 10 datasets vs 5 — over-fitting check.
+//!
+//! Leave-one-out cross validation: models merged from all 10 remaining
+//! datasets of each class are compared against the 5-dataset merged models
+//! of §8.5 on (a) the correct model's confidence, (b) the margin of
+//! confidence, and (c) top-1/top-2 accuracy.
+
+use dbsherlock_bench::{
+    diagnose, merged_model, of_kind, pct, random_split, repository_from, tpcc_corpus,
+    write_json, ExperimentArgs, Table, Tally,
+};
+use dbsherlock_core::SherlockParams;
+use dbsherlock_simulator::AnomalyKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let corpus = tpcc_corpus();
+    let params = SherlockParams::for_merging();
+
+    // Merged-10: leave-one-out over all 11 variants.
+    let mut ten: Vec<(AnomalyKind, Tally)> =
+        AnomalyKind::ALL.iter().map(|&k| (k, Tally::default())).collect();
+    for held_out in 0..11 {
+        let models: Vec<_> = AnomalyKind::ALL
+            .iter()
+            .map(|&kind| {
+                let entries = of_kind(corpus, kind);
+                let train: Vec<_> = entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != held_out)
+                    .map(|(_, e)| *e)
+                    .collect();
+                merged_model(&train, &params, None)
+            })
+            .collect();
+        let repo = repository_from(models);
+        for &kind in &AnomalyKind::ALL {
+            let entry = of_kind(corpus, kind)[held_out];
+            let outcome = diagnose(&repo, &entry.labeled, kind, &params);
+            ten.iter_mut().find(|(k, _)| *k == kind).unwrap().1.record(&outcome);
+        }
+    }
+
+    // Merged-5 baseline: random 5/6 splits as in §8.5.
+    let repeats = args.repeats_or(10, 50);
+    let mut five: Vec<(AnomalyKind, Tally)> =
+        AnomalyKind::ALL.iter().map(|&k| (k, Tally::default())).collect();
+    let mut rng = StdRng::seed_from_u64(0xF11);
+    for _ in 0..repeats {
+        let splits: Vec<(Vec<usize>, Vec<usize>)> =
+            AnomalyKind::ALL.iter().map(|_| random_split(11, 5, &mut rng)).collect();
+        let models: Vec<_> = AnomalyKind::ALL
+            .iter()
+            .zip(&splits)
+            .map(|(&kind, (train, _))| {
+                let entries = of_kind(corpus, kind);
+                let chosen: Vec<_> = train.iter().map(|&i| entries[i]).collect();
+                merged_model(&chosen, &params, None)
+            })
+            .collect();
+        let repo = repository_from(models);
+        for (&kind, (_, test)) in AnomalyKind::ALL.iter().zip(&splits) {
+            let entries = of_kind(corpus, kind);
+            for &t in test {
+                let outcome = diagnose(&repo, &entries[t].labeled, kind, &params);
+                five.iter_mut().find(|(k, _)| *k == kind).unwrap().1.record(&outcome);
+            }
+        }
+    }
+
+    let mut table = Table::new(
+        "Figure 11 — merged models from 5 vs 10 datasets (over-fitting check)",
+        &["Test case", "Conf (5)", "Conf (10)", "Margin (5)", "Margin (10)", "Top-1 (10)", "Top-2 (10)"],
+    );
+    let mut rows_json = Vec::new();
+    let (mut t5, mut t10) = (Tally::default(), Tally::default());
+    for ((kind, five_t), (_, ten_t)) in five.iter().zip(&ten) {
+        table.row(vec![
+            kind.name().to_string(),
+            pct(five_t.mean_confidence_pct()),
+            pct(ten_t.mean_confidence_pct()),
+            pct(five_t.mean_margin_pct()),
+            pct(ten_t.mean_margin_pct()),
+            pct(ten_t.top1_pct()),
+            pct(ten_t.top2_pct()),
+        ]);
+        rows_json.push(serde_json::json!({
+            "case": kind.name(),
+            "confidence5_pct": five_t.mean_confidence_pct(),
+            "confidence10_pct": ten_t.mean_confidence_pct(),
+            "margin5_pct": five_t.mean_margin_pct(),
+            "margin10_pct": ten_t.mean_margin_pct(),
+            "top1_pct": ten_t.top1_pct(),
+            "top2_pct": ten_t.top2_pct(),
+        }));
+        t5.merge(five_t);
+        t10.merge(ten_t);
+    }
+    table.row(vec![
+        "AVERAGE".into(),
+        pct(t5.mean_confidence_pct()),
+        pct(t10.mean_confidence_pct()),
+        pct(t5.mean_margin_pct()),
+        pct(t10.mean_margin_pct()),
+        pct(t10.top1_pct()),
+        pct(t10.top2_pct()),
+    ]);
+    table.print();
+    println!(
+        "\nPaper: confidence rises slightly with 10 datasets but margins shrink in some\n  cases (over-fitting-like saturation); top-2 still correct nearly always.\nMeasured: avg confidence {} -> {}, avg margin {} -> {}.",
+        pct(t5.mean_confidence_pct()),
+        pct(t10.mean_confidence_pct()),
+        pct(t5.mean_margin_pct()),
+        pct(t10.mean_margin_pct()),
+    );
+    write_json("fig11_overfitting", &serde_json::json!({ "rows": rows_json }));
+}

@@ -1,0 +1,80 @@
+//! Figure 13 (Appendix D): sensitivity of secondary-symptom pruning to the
+//! independence-test threshold `κ_t`, on the synthetic SEM data of
+//! Appendix F.
+//!
+//! For each `κ_t`, random linear causal graphs are generated; the pruning
+//! decision ("this predicate is a secondary symptom") is scored against
+//! graph-reachability ground truth and the average F1 is reported.
+
+use dbsherlock_bench::{pct, write_json, ExperimentArgs, Table};
+use dbsherlock_causal_synth::{SynthConfig, SynthInstance};
+use dbsherlock_core::{
+    generate_predicates, DomainKnowledge, Rule, SherlockParams,
+};
+
+/// Precision/recall/F1 of pruning decisions over `runs` random graphs at
+/// one κ_t.
+fn prune_f1(kappa_t: f64, runs: usize, seed: u64) -> (f64, f64, f64) {
+    let config = SynthConfig::default();
+    let params = SherlockParams {
+        kappa_t,
+        // Low θ and SP floor: the synthetic SEM experiment evaluates the
+        // pruning decision, so predicate generation should be permissive.
+        theta: 0.01,
+        min_separation_power: 0.0,
+        ..SherlockParams::default()
+    };
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    for run in 0..runs {
+        let inst = SynthInstance::generate(&config, seed.wrapping_add(run as u64));
+        let abnormal = inst.abnormal.clone();
+        let normal = abnormal.complement(inst.dataset.n_rows());
+        let raw = generate_predicates(&inst.dataset, &abnormal, &normal, &params);
+        let kb = DomainKnowledge::new(
+            inst.rules.iter().map(|r| Rule::new(r.cause.clone(), r.effect.clone())),
+        )
+        .expect("synthetic rules are consistent");
+        let survivors = kb.prune(&inst.dataset, raw.clone(), &params);
+        for generated in &raw {
+            let attr = &generated.predicate.attr;
+            let Some(should_prune) = inst.should_prune(attr) else { continue };
+            let was_pruned = !survivors.iter().any(|s| &s.predicate.attr == attr);
+            match (was_pruned, should_prune) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    (precision * 100.0, recall * 100.0, f1 * 100.0)
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let runs = args.repeats_or(300, 2000);
+    let mut table = Table::new(
+        "Figure 13 — pruning F1 vs independence-test threshold (κ_t)",
+        &["kappa_t", "Precision", "Recall", "F1"],
+    );
+    let mut rows_json = Vec::new();
+    for kappa_t in [0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30] {
+        let (p, r, f1) = prune_f1(kappa_t, runs, 0xF13);
+        table.row(vec![format!("{kappa_t}"), pct(p), pct(r), pct(f1)]);
+        rows_json.push(serde_json::json!({
+            "kappa_t": kappa_t, "precision_pct": p, "recall_pct": r, "f1_pct": f1,
+        }));
+    }
+    table.print();
+    println!(
+        "\nPaper: F1 peaks at κ_t = 0.15 (the default); very small κ_t over-prunes\n  independent attributes, large κ_t under-prunes."
+    );
+    write_json("fig13_kappa", &serde_json::json!({ "runs": runs, "rows": rows_json }));
+}

@@ -1,0 +1,143 @@
+//! Figure 8 (§8.5): effectiveness of merged causal models.
+//!
+//! (a) margin of confidence, single (1 dataset) vs merged (5 datasets);
+//! (b) % of correct explanations when the top-1 / top-2 causes are shown;
+//! (c) accuracy as a function of the number of datasets merged (1–5).
+//!
+//! Paper setup: per class, ~50 random 5/6 train/test splits; merged models
+//! use θ = 0.05 so merging has predicates to work with, single models use
+//! θ = 0.2. Defaults here run 20 splits (`--full` for 50).
+
+use dbsherlock_bench::{
+    diagnose, merged_model, of_kind, pct, random_split, repository_from, single_model,
+    tpcc_corpus, write_json, ExperimentArgs, Table, Tally,
+};
+use dbsherlock_core::SherlockParams;
+use dbsherlock_simulator::AnomalyKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let repeats = args.repeats_or(20, 50);
+    let corpus = tpcc_corpus();
+    let single_params = SherlockParams::default();
+    let merged_params = SherlockParams::for_merging();
+    let mut rng = StdRng::seed_from_u64(0xF168);
+
+    // (a) + (b): merged from 5, tested on the held-out 6.
+    let mut merged_tally: Vec<(AnomalyKind, Tally)> =
+        AnomalyKind::ALL.iter().map(|&k| (k, Tally::default())).collect();
+    let mut single_tally: Vec<(AnomalyKind, Tally)> =
+        AnomalyKind::ALL.iter().map(|&k| (k, Tally::default())).collect();
+    // (c): accuracy vs number of merged datasets.
+    let mut by_count: Vec<Tally> = (0..5).map(|_| Tally::default()).collect();
+
+    for _ in 0..repeats {
+        // One split per class, shared across the sub-experiments.
+        let splits: Vec<(Vec<usize>, Vec<usize>)> =
+            AnomalyKind::ALL.iter().map(|_| random_split(11, 5, &mut rng)).collect();
+        for n_merge in 1..=5 {
+            let models: Vec<_> = AnomalyKind::ALL
+                .iter()
+                .zip(&splits)
+                .map(|(&kind, (train, _))| {
+                    let entries = of_kind(corpus, kind);
+                    let chosen: Vec<_> =
+                        train[..n_merge].iter().map(|&i| entries[i]).collect();
+                    merged_model(&chosen, &merged_params, None)
+                })
+                .collect();
+            let repo = repository_from(models);
+            for (&kind, (_, test)) in AnomalyKind::ALL.iter().zip(&splits) {
+                let entries = of_kind(corpus, kind);
+                for &t in test {
+                    let outcome =
+                        diagnose(&repo, &entries[t].labeled, kind, &merged_params);
+                    by_count[n_merge - 1].record(&outcome);
+                    if n_merge == 5 {
+                        merged_tally.iter_mut().find(|(k, _)| *k == kind).unwrap().1.record(&outcome);
+                    }
+                }
+            }
+        }
+        // Single-model baseline for (a): one training dataset per class.
+        let models: Vec<_> = AnomalyKind::ALL
+            .iter()
+            .zip(&splits)
+            .map(|(&kind, (train, _))| {
+                single_model(of_kind(corpus, kind)[train[0]], &single_params, None)
+            })
+            .collect();
+        let repo = repository_from(models);
+        for (&kind, (_, test)) in AnomalyKind::ALL.iter().zip(&splits) {
+            let entries = of_kind(corpus, kind);
+            for &t in test {
+                let outcome = diagnose(&repo, &entries[t].labeled, kind, &single_params);
+                single_tally.iter_mut().find(|(k, _)| *k == kind).unwrap().1.record(&outcome);
+            }
+        }
+    }
+
+    let mut table_a = Table::new(
+        "Figure 8a — margin of confidence: single vs merged causal models",
+        &["Test case", "Single (1 dataset)", "Merged (5 datasets)"],
+    );
+    for ((kind, single), (_, merged)) in single_tally.iter().zip(&merged_tally) {
+        table_a.row(vec![
+            kind.name().to_string(),
+            pct(single.mean_margin_pct()),
+            pct(merged.mean_margin_pct()),
+        ]);
+    }
+    table_a.print();
+
+    let mut table_b = Table::new(
+        "Figure 8b — correct explanations with merged models (5 datasets)",
+        &["Test case", "Top-1 shown", "Top-2 shown"],
+    );
+    let mut overall = Tally::default();
+    for (kind, tally) in &merged_tally {
+        table_b.row(vec![
+            kind.name().to_string(),
+            pct(tally.top1_pct()),
+            pct(tally.top2_pct()),
+        ]);
+        overall.merge(tally);
+    }
+    table_b.row(vec!["AVERAGE".into(), pct(overall.top1_pct()), pct(overall.top2_pct())]);
+    table_b.print();
+
+    let mut table_c = Table::new(
+        "Figure 8c — accuracy vs number of merged datasets",
+        &["# datasets", "Top-1 shown", "Top-2 shown"],
+    );
+    for (i, tally) in by_count.iter().enumerate() {
+        table_c.row(vec![format!("{}", i + 1), pct(tally.top1_pct()), pct(tally.top2_pct())]);
+    }
+    table_c.print();
+
+    println!(
+        "\nPaper: merging raises margins in all cases; top-1 ≈ 98%, top-2 ≈ 99.7%;\n  accuracy reaches 95% (top-1) with two datasets and 99% (top-2).\nMeasured: top-1 {} / top-2 {} with 5 datasets.",
+        pct(overall.top1_pct()),
+        pct(overall.top2_pct()),
+    );
+    write_json(
+        "fig8_merged_models",
+        &serde_json::json!({
+            "repeats": repeats,
+            "per_case": merged_tally.iter().map(|(k, t)| serde_json::json!({
+                "case": k.name(),
+                "margin_merged_pct": t.mean_margin_pct(),
+                "top1_pct": t.top1_pct(),
+                "top2_pct": t.top2_pct(),
+            })).collect::<Vec<_>>(),
+            "margin_single_pct": single_tally.iter().map(|(k, t)| serde_json::json!({
+                "case": k.name(), "margin_pct": t.mean_margin_pct(),
+            })).collect::<Vec<_>>(),
+            "by_count": by_count.iter().enumerate().map(|(i, t)| serde_json::json!({
+                "datasets": i + 1, "top1_pct": t.top1_pct(), "top2_pct": t.top2_pct(),
+            })).collect::<Vec<_>>(),
+        }),
+    );
+}

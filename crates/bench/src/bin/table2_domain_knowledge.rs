@@ -1,0 +1,73 @@
+//! Table 2 (§8.6): single-causal-model accuracy with vs without the four
+//! MySQL/Linux domain-knowledge rules.
+//!
+//! Setup mirrors §8.3 (single-dataset models, θ = 0.2); the "with"
+//! configuration prunes secondary symptoms before the model is stored.
+
+use dbsherlock_bench::{
+    diagnose, pct, repository_from, single_model, tpcc_corpus, write_json, Table, Tally,
+};
+use dbsherlock_core::{DomainKnowledge, SherlockParams};
+use dbsherlock_simulator::{AnomalyKind, VARIATIONS};
+
+fn run(domain: Option<&DomainKnowledge>) -> Tally {
+    let corpus = tpcc_corpus();
+    let params = SherlockParams::default();
+    let mut tally = Tally::default();
+    for train_variant in 0..VARIATIONS.len() {
+        let models: Vec<_> = AnomalyKind::ALL
+            .iter()
+            .map(|&kind| {
+                let entry = corpus
+                    .iter()
+                    .find(|e| e.kind == kind && e.variant == train_variant)
+                    .expect("corpus cell");
+                single_model(entry, &params, domain)
+            })
+            .collect();
+        let repo = repository_from(models);
+        for entry in corpus.iter().filter(|e| e.variant != train_variant) {
+            tally.record(&diagnose(&repo, &entry.labeled, entry.kind, &params));
+        }
+    }
+    tally
+}
+
+fn main() {
+    let kb = DomainKnowledge::mysql_linux();
+    let with = run(Some(&kb));
+    let without = run(None);
+
+    let mut table = Table::new(
+        "Table 2 — effect of domain knowledge on single causal models",
+        &["Configuration", "Accuracy (top-1)", "Accuracy (top-2)", "Avg margin"],
+    );
+    table.row(vec![
+        "With Domain Knowledge".into(),
+        pct(with.top1_pct()),
+        pct(with.top2_pct()),
+        pct(with.mean_margin_pct()),
+    ]);
+    table.row(vec![
+        "Without Domain Knowledge".into(),
+        pct(without.top1_pct()),
+        pct(without.top2_pct()),
+        pct(without.mean_margin_pct()),
+    ]);
+    table.print();
+    println!(
+        "\nPaper: 85.3% / 94.8% with, 82.7% / 93.2% without (knowledge helps by ~2-3%,\n  and DBSherlock works well even without it).\nMeasured deltas: top-1 {:+.1} points, top-2 {:+.1} points, margin {:+.1} points\n  (our simulated signatures are separable enough that top-k accuracy\n  saturates; the margin shows the effect direction instead).",
+        with.top1_pct() - without.top1_pct(),
+        with.top2_pct() - without.top2_pct(),
+        with.mean_margin_pct() - without.mean_margin_pct(),
+    );
+    write_json(
+        "table2_domain_knowledge",
+        &serde_json::json!({
+            "with": {"top1_pct": with.top1_pct(), "top2_pct": with.top2_pct(),
+                      "margin_pct": with.mean_margin_pct()},
+            "without": {"top1_pct": without.top1_pct(), "top2_pct": without.top2_pct(),
+                         "margin_pct": without.mean_margin_pct()},
+        }),
+    );
+}

@@ -1,0 +1,141 @@
+//! Table 3 (§8.8): the user study, reproduced with a simulated DBA.
+//!
+//! The paper asked 20 human participants ten multiple-choice questions
+//! (one correct cause + three random wrong ones), showing a latency plot,
+//! a marked anomaly region, and DBSherlock's generated predicates. Humans
+//! cannot be re-run in software, so participants are modeled as noisy
+//! signature matchers (see DESIGN.md): each candidate cause is scored by
+//! how well the shown predicates overlap the cause's known telemetry
+//! signature (attribute overlap + boundary-direction agreement), and the
+//! participant picks via a softmax whose temperature encodes competency.
+//! The no-predicates baseline is exact: uniform choice over four options.
+
+use dbsherlock_bench::{
+    merged_model, of_kind, predicates_for, tpcc_corpus, write_json, Table,
+};
+use dbsherlock_core::{merge_predicates, CausalModel, GeneratedPredicate, SherlockParams};
+use dbsherlock_simulator::AnomalyKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How strongly a set of shown predicates matches a candidate cause's
+/// signature model: fraction of the signature's attributes that appear in
+/// the shown predicates with a mergeable (direction-consistent) boundary.
+fn signature_match(shown: &[GeneratedPredicate], signature: &CausalModel) -> f64 {
+    if signature.predicates.is_empty() {
+        return 0.0;
+    }
+    let hits = signature
+        .predicates
+        .iter()
+        .filter(|sig| {
+            shown
+                .iter()
+                .any(|g| g.predicate.attr == sig.attr && merge_predicates(&g.predicate, sig).is_some())
+        })
+        .count();
+    hits as f64 / signature.predicates.len() as f64
+}
+
+fn softmax_pick(scores: &[f64], temperature: f64, rng: &mut StdRng) -> usize {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = scores.iter().map(|s| ((s - max) / temperature).exp()).collect();
+    let total: f64 = weights.iter().sum();
+    let mut draw = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        draw -= w;
+        if draw <= 0.0 {
+            return i;
+        }
+    }
+    scores.len() - 1
+}
+
+fn main() {
+    let corpus = tpcc_corpus();
+    let params = SherlockParams::for_merging();
+    // Signatures: merged models per class (the "knowledge" an experienced
+    // participant brings about how each problem manifests).
+    let signatures: Vec<CausalModel> = AnomalyKind::ALL
+        .iter()
+        .map(|&k| merged_model(&of_kind(corpus, k), &params, None))
+        .collect();
+
+    // The ten questions: one per anomaly class, variant 6, with
+    // DBSherlock's generated predicates for its ground-truth region.
+    let questions: Vec<(AnomalyKind, Vec<GeneratedPredicate>)> = AnomalyKind::ALL
+        .iter()
+        .map(|&k| (k, predicates_for(&of_kind(corpus, k)[6].labeled, &params, None)))
+        .collect();
+
+    // Competency tiers -> (label, participants, softmax temperature).
+    // Lower temperature = reads the predicates more reliably.
+    let tiers: [(&str, usize, Option<f64>); 4] = [
+        ("Baseline (No Predicates)", 1000, None),
+        ("Preliminary DB Knowledge", 20, Some(0.18)),
+        ("DB Usage Experience", 15, Some(0.14)),
+        ("DB Research or DBA Experience", 13, Some(0.12)),
+    ];
+
+    let mut rng = StdRng::seed_from_u64(0x0B5E );
+    let mut table = Table::new(
+        "Table 3 — simulated user study (10 questions, 4 choices each)",
+        &["Background", "# participants", "Avg correct (out of 10)"],
+    );
+    let mut rows_json = Vec::new();
+    for (label, participants, temperature) in tiers {
+        let mut total_correct = 0.0;
+        for _ in 0..participants {
+            let mut correct = 0usize;
+            for (truth, shown) in &questions {
+                // One correct + three random incorrect choices.
+                let mut choices = vec![*truth];
+                while choices.len() < 4 {
+                    let candidate = AnomalyKind::ALL[rng.random_range(0..10)];
+                    if !choices.contains(&candidate) {
+                        choices.push(candidate);
+                    }
+                }
+                // Shuffle.
+                for i in (1..choices.len()).rev() {
+                    let j = rng.random_range(0..=i);
+                    choices.swap(i, j);
+                }
+                let picked = match temperature {
+                    None => rng.random_range(0..4),
+                    Some(t) => {
+                        let scores: Vec<f64> = choices
+                            .iter()
+                            .map(|c| {
+                                let sig = signatures
+                                    .iter()
+                                    .find(|s| s.cause == c.name())
+                                    .expect("signature per class");
+                                signature_match(shown, sig)
+                            })
+                            .collect();
+                        softmax_pick(&scores, t, &mut rng)
+                    }
+                };
+                if choices[picked] == *truth {
+                    correct += 1;
+                }
+            }
+            total_correct += correct as f64;
+        }
+        let avg = total_correct / participants as f64;
+        table.row(vec![
+            label.to_string(),
+            if temperature.is_none() { "N/A".into() } else { participants.to_string() },
+            format!("{avg:.1}"),
+        ]);
+        rows_json.push(serde_json::json!({
+            "background": label, "participants": participants, "avg_correct": avg,
+        }));
+    }
+    table.print();
+    println!(
+        "\nPaper: baseline 2.5; preliminary 7.5; usage 7.8; research/DBA 7.8 —\n  predicates lift diagnosis accuracy from 25% to ~75-78%.\nSubstitution: simulated participants (noisy signature matching); see DESIGN.md."
+    );
+    write_json("table3_user_study", &serde_json::json!({ "rows": rows_json }));
+}

@@ -1,0 +1,82 @@
+//! Table 5 (Appendix C): robustness against imperfect or tiny abnormal
+//! regions.
+//!
+//! Leave-one-out merged-10 models diagnose the held-out dataset with the
+//! user's region perturbed: 10% longer, 10% shorter, or replaced by a
+//! random two-second slice of the true region (each repeated 10 times and
+//! averaged, as in the paper).
+
+use dbsherlock_bench::{
+    diagnose_with_region, merged_model, of_kind, pct, repository_from, tpcc_corpus, write_json,
+    Table, Tally,
+};
+use dbsherlock_core::SherlockParams;
+use dbsherlock_simulator::AnomalyKind;
+use dbsherlock_telemetry::Region;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let corpus = tpcc_corpus();
+    let params = SherlockParams::for_merging();
+    let mut rng = StdRng::seed_from_u64(0x7AB1E5);
+
+    let configs: [(&str, f64); 4] =
+        [("Original", 0.0), ("10% Longer", 0.10), ("10% Shorter", -0.10), ("Two Seconds", f64::NAN)];
+    let mut tallies: Vec<Tally> = configs.iter().map(|_| Tally::default()).collect();
+
+    for held_out in 0..11 {
+        let models: Vec<_> = AnomalyKind::ALL
+            .iter()
+            .map(|&kind| {
+                let entries = of_kind(corpus, kind);
+                let train: Vec<_> = entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != held_out)
+                    .map(|(_, e)| *e)
+                    .collect();
+                merged_model(&train, &params, None)
+            })
+            .collect();
+        let repo = repository_from(models);
+        for &kind in &AnomalyKind::ALL {
+            let entry = of_kind(corpus, kind)[held_out];
+            let truth = entry.labeled.abnormal_region();
+            let n = entry.labeled.data.n_rows();
+            for (cfg_idx, &(_, fraction)) in configs.iter().enumerate() {
+                // The perturbed variants are stochastic: repeat 10x (paper).
+                let trials = if cfg_idx == 0 { 1 } else { 10 };
+                for _ in 0..trials {
+                    let region: Region = if fraction.is_nan() {
+                        truth.contiguous_subregion(2, |max| rng.random_range(0..=max))
+                    } else if fraction == 0.0 {
+                        truth.clone()
+                    } else {
+                        truth.perturb(fraction, n)
+                    };
+                    let outcome =
+                        diagnose_with_region(&repo, &entry.labeled, &region, kind, &params);
+                    tallies[cfg_idx].record(&outcome);
+                }
+            }
+        }
+    }
+
+    let mut table = Table::new(
+        "Table 5 — robustness against rare and imperfect input regions",
+        &["Width of Abnormal Region", "Accuracy (top-1)", "Accuracy (top-2)"],
+    );
+    let mut rows_json = Vec::new();
+    for ((label, _), tally) in configs.iter().zip(&tallies) {
+        table.row(vec![label.to_string(), pct(tally.top1_pct()), pct(tally.top2_pct())]);
+        rows_json.push(serde_json::json!({
+            "config": label, "top1_pct": tally.top1_pct(), "top2_pct": tally.top2_pct(),
+        }));
+    }
+    table.print();
+    println!(
+        "\nPaper: 94.6/99.1 original; 95.5/100 longer; 95.5/97.3 shorter; 74.6/86.4\n  with only a two-second region — accuracy barely moves under ±10% error and\n  degrades gracefully for very short regions."
+    );
+    write_json("table5_robustness", &serde_json::json!({ "rows": rows_json }));
+}

@@ -1,0 +1,101 @@
+//! Table 7 (Appendix E): diagnosis accuracy when the abnormal region comes
+//! from manual specification (ground truth), DBSherlock's automatic
+//! detector (§7), or PerfAugur.
+//!
+//! Setup per the paper: ten-minute normal runs; leave-one-out merged
+//! causal models built from ground-truth regions; the detectors then
+//! propose the region for the held-out dataset.
+
+use dbsherlock_baselines::{perfaugur_detect, PerfAugurConfig};
+use dbsherlock_bench::{
+    diagnose_with_region, long_corpus, merged_model, of_kind, pct, repository_from, write_json,
+    Table, Tally,
+};
+use dbsherlock_core::{detect_anomaly, SherlockParams};
+use dbsherlock_simulator::AnomalyKind;
+use dbsherlock_telemetry::Region;
+
+fn main() {
+    let corpus = long_corpus();
+    let params = SherlockParams::for_merging();
+    let mut manual = Tally::default();
+    let mut auto = Tally::default();
+    let mut perfaugur = Tally::default();
+    let mut iou_auto_sum = 0.0;
+    let mut iou_pa_sum = 0.0;
+    let mut n = 0usize;
+
+    for held_out in 0..11 {
+        let models: Vec<_> = AnomalyKind::ALL
+            .iter()
+            .map(|&kind| {
+                let entries = of_kind(corpus, kind);
+                let train: Vec<_> = entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != held_out)
+                    .map(|(_, e)| *e)
+                    .collect();
+                merged_model(&train, &params, None)
+            })
+            .collect();
+        let repo = repository_from(models);
+        for &kind in &AnomalyKind::ALL {
+            let entry = of_kind(corpus, kind)[held_out];
+            let truth = entry.labeled.abnormal_region();
+            n += 1;
+
+            manual.record(&diagnose_with_region(&repo, &entry.labeled, &truth, kind, &params));
+
+            let auto_region: Region = detect_anomaly(&entry.labeled.data, &params)
+                .map(|d| d.region)
+                .unwrap_or_default();
+            iou_auto_sum += auto_region.iou(&truth);
+            auto.record(&diagnose_with_region(&repo, &entry.labeled, &auto_region, kind, &params));
+
+            let pa_region: Region = perfaugur_detect(&entry.labeled.data, &PerfAugurConfig::default())
+                .map(|w| w.region)
+                .unwrap_or_default();
+            iou_pa_sum += pa_region.iou(&truth);
+            perfaugur
+                .record(&diagnose_with_region(&repo, &entry.labeled, &pa_region, kind, &params));
+        }
+    }
+
+    let mut table = Table::new(
+        "Table 7 — accuracy with manual vs automatic anomaly detection",
+        &["Detection strategy", "Accuracy (top-1)", "Accuracy (top-2)", "Region IoU"],
+    );
+    table.row(vec![
+        "Manual (ground truth)".into(),
+        pct(manual.top1_pct()),
+        pct(manual.top2_pct()),
+        "1.00".into(),
+    ]);
+    table.row(vec![
+        "Automatic (DBSherlock, §7)".into(),
+        pct(auto.top1_pct()),
+        pct(auto.top2_pct()),
+        format!("{:.2}", iou_auto_sum / n as f64),
+    ]);
+    table.row(vec![
+        "PerfAugur".into(),
+        pct(perfaugur.top1_pct()),
+        pct(perfaugur.top2_pct()),
+        format!("{:.2}", iou_pa_sum / n as f64),
+    ]);
+    table.print();
+    println!(
+        "\nPaper: manual 94.6/99.1; DBSherlock auto 90.0/95.5; PerfAugur 77.3/88.2 —\n  our detector loses little vs ground truth and beats PerfAugur's."
+    );
+    write_json(
+        "table7_auto_detection",
+        &serde_json::json!({
+            "manual": {"top1_pct": manual.top1_pct(), "top2_pct": manual.top2_pct()},
+            "auto": {"top1_pct": auto.top1_pct(), "top2_pct": auto.top2_pct(),
+                      "iou": iou_auto_sum / n as f64},
+            "perfaugur": {"top1_pct": perfaugur.top1_pct(), "top2_pct": perfaugur.top2_pct(),
+                           "iou": iou_pa_sum / n as f64},
+        }),
+    );
+}

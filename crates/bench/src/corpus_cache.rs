@@ -1,0 +1,93 @@
+//! Lazily generated, process-wide experiment corpora.
+//!
+//! Every experiment binary shares the same deterministic corpora (seeded
+//! generation), so results are reproducible across runs and binaries
+//! without writing datasets to disk. Generation is parallelized across
+//! anomaly classes with scoped threads.
+
+use std::sync::OnceLock;
+
+use dbsherlock_simulator::{
+    generate_long_corpus, standard_scenario, AnomalyKind, Benchmark, CorpusEntry, VARIATIONS,
+};
+
+/// Seed of every standard corpus (one knob to regenerate everything).
+pub const CORPUS_SEED: u64 = 20160626; // SIGMOD'16 opening day
+
+fn generate_parallel(benchmark: Benchmark) -> Vec<CorpusEntry> {
+    let mut entries: Vec<Option<CorpusEntry>> =
+        (0..AnomalyKind::ALL.len() * VARIATIONS.len()).map(|_| None).collect();
+    let chunks: Vec<(usize, AnomalyKind)> =
+        AnomalyKind::ALL.iter().copied().enumerate().collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &(kind_idx, kind) in &chunks {
+            handles.push((kind_idx, scope.spawn(move || {
+                (0..VARIATIONS.len())
+                    .map(|variant| CorpusEntry {
+                        kind,
+                        variant,
+                        labeled: standard_scenario(benchmark, kind, variant, CORPUS_SEED).run(),
+                    })
+                    .collect::<Vec<_>>()
+            })));
+        }
+        for (kind_idx, handle) in handles {
+            for (variant, entry) in handle.join().expect("corpus thread").into_iter().enumerate()
+            {
+                entries[kind_idx * VARIATIONS.len() + variant] = Some(entry);
+            }
+        }
+    });
+    entries.into_iter().map(|e| e.expect("all cells generated")).collect()
+}
+
+/// The 110-dataset TPC-C-like corpus (§8.2).
+pub fn tpcc_corpus() -> &'static [CorpusEntry] {
+    static CORPUS: OnceLock<Vec<CorpusEntry>> = OnceLock::new();
+    CORPUS.get_or_init(|| generate_parallel(Benchmark::TpccLike))
+}
+
+/// The 110-dataset TPC-E-like corpus (Appendix A).
+pub fn tpce_corpus() -> &'static [CorpusEntry] {
+    static CORPUS: OnceLock<Vec<CorpusEntry>> = OnceLock::new();
+    CORPUS.get_or_init(|| generate_parallel(Benchmark::TpceLike))
+}
+
+/// The ten-minute-normal corpus for automatic-detection experiments
+/// (Appendix E).
+pub fn long_corpus() -> &'static [CorpusEntry] {
+    static CORPUS: OnceLock<Vec<CorpusEntry>> = OnceLock::new();
+    CORPUS.get_or_init(|| generate_long_corpus(Benchmark::TpccLike, CORPUS_SEED))
+}
+
+/// Entries of one anomaly class, in variant order.
+pub fn of_kind(corpus: &[CorpusEntry], kind: AnomalyKind) -> Vec<&CorpusEntry> {
+    corpus.iter().filter(|e| e.kind == kind).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_every_cell() {
+        let corpus = tpcc_corpus();
+        assert_eq!(corpus.len(), 110);
+        for kind in AnomalyKind::ALL {
+            let entries = of_kind(corpus, kind);
+            assert_eq!(entries.len(), 11, "{kind:?}");
+            for (i, e) in entries.iter().enumerate() {
+                assert_eq!(e.variant, i);
+                assert!(!e.labeled.abnormal_region().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_is_memoized() {
+        let a = tpcc_corpus().as_ptr();
+        let b = tpcc_corpus().as_ptr();
+        assert_eq!(a, b);
+    }
+}

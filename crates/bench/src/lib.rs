@@ -1,0 +1,19 @@
+//! Experiment harness reproducing every table and figure of the DBSherlock
+//! paper (SIGMOD 2016).
+//!
+//! Each binary under `src/bin/` regenerates one artifact (see DESIGN.md's
+//! experiment index); `run_all` runs the lot. Quick defaults keep a full
+//! sweep in minutes; pass `--full` for paper-scale trial counts, or
+//! `--repeats N` for explicit control. EXPERIMENTS.md records
+//! paper-vs-measured numbers.
+
+pub mod corpus_cache;
+pub mod eval;
+pub mod report;
+
+pub use corpus_cache::{long_corpus, of_kind, tpcc_corpus, tpce_corpus, CORPUS_SEED};
+pub use eval::{
+    diagnose, diagnose_with_region, merged_model, predicates_for, random_split, repository_from,
+    single_model, DiagnosisOutcome, Tally,
+};
+pub use report::{num, pct, write_json, ExperimentArgs, Table};

@@ -1,0 +1,48 @@
+//! Point representation and distance metrics for clustering.
+
+/// A dense point in d-dimensional space. DBSherlock's anomaly detector
+/// builds these from min–max-normalized attribute columns, so coordinates
+/// are typically in `[0, 1]`.
+pub type Point = Vec<f64>;
+
+/// Euclidean distance between two points of equal dimension.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Transpose normalized columns into row points: `columns[c][r]` becomes
+/// coordinate `c` of point `r`.
+pub fn rows_from_columns(columns: &[&[f64]]) -> Vec<Point> {
+    let Some(first) = columns.first() else { return Vec::new() };
+    let n = first.len();
+    debug_assert!(columns.iter().all(|c| c.len() == n));
+    (0..n).map(|r| columns.iter().map(|c| c[r]).collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn transpose_columns() {
+        let a = [1.0, 2.0];
+        let b = [10.0, 20.0];
+        let pts = rows_from_columns(&[&a, &b]);
+        assert_eq!(pts, vec![vec![1.0, 10.0], vec![2.0, 20.0]]);
+        assert!(rows_from_columns(&[]).is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! k-dist heuristics for choosing DBSCAN's `ε`.
+//!
+//! Ester et al. suggest inspecting the sorted list of each point's distance
+//! to its k-th nearest neighbour to pick `ε`. DBSherlock (paper §7) fixes
+//! `minPts = 3`, builds the k-dist list `L_k`, and uses
+//! `ε = max(L_k) / 4`, which the authors found empirically robust.
+
+use crate::distance::{euclidean, Point};
+
+/// Distance from each point to its `k`-th nearest *other* point
+/// (`k = 1` means the nearest neighbour). Points with fewer than `k`
+/// neighbours report the distance to their farthest neighbour; singleton
+/// inputs report `0`.
+pub fn kdist_list(points: &[Point], k: usize) -> Vec<f64> {
+    let n = points.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut dists: Vec<f64> =
+            (0..n).filter(|&j| j != i).map(|j| euclidean(&points[i], &points[j])).collect();
+        if dists.is_empty() {
+            out.push(0.0);
+            continue;
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = k.saturating_sub(1).min(dists.len() - 1);
+        out.push(dists[idx]);
+    }
+    out
+}
+
+/// DBSherlock's `ε` rule: `max(L_k) / 4` (paper §7, with `minPts = 3` so
+/// `k = 3`). Returns `None` for inputs too small to cluster.
+pub fn epsilon_from_kdist(points: &[Point], k: usize) -> Option<f64> {
+    if points.len() < 2 {
+        return None;
+    }
+    let lk = kdist_list(points, k);
+    let max = lk.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max.is_finite() && max > 0.0 {
+        Some(max / 4.0)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kdist_on_a_line() {
+        let points: Vec<Point> = vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0]];
+        let l1 = kdist_list(&points, 1);
+        assert_eq!(l1, vec![1.0, 1.0, 1.0, 8.0]);
+        let l2 = kdist_list(&points, 2);
+        assert_eq!(l2, vec![2.0, 1.0, 2.0, 9.0]);
+    }
+
+    #[test]
+    fn k_exceeding_neighbours_saturates() {
+        let points: Vec<Point> = vec![vec![0.0], vec![3.0]];
+        assert_eq!(kdist_list(&points, 5), vec![3.0, 3.0]);
+        assert_eq!(kdist_list(&[vec![1.0]], 3), vec![0.0]);
+    }
+
+    #[test]
+    fn epsilon_rule_quarters_the_max() {
+        let points: Vec<Point> = vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0]];
+        let eps = epsilon_from_kdist(&points, 1).unwrap();
+        assert_eq!(eps, 2.0);
+    }
+
+    #[test]
+    fn epsilon_degenerate_inputs() {
+        assert_eq!(epsilon_from_kdist(&[], 3), None);
+        assert_eq!(epsilon_from_kdist(&[vec![0.0]], 3), None);
+        // All-identical points: max k-dist is 0 -> None.
+        let same: Vec<Point> = vec![vec![1.0]; 4];
+        assert_eq!(epsilon_from_kdist(&same, 3), None);
+    }
+}

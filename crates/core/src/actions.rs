@@ -1,0 +1,268 @@
+//! Remediation memory and auto-remediation policy — the paper's stated
+//! future work (§10): *"documenting and storing the actions taken by the
+//! DBA to use as a suggestion for future occurrences of the same anomaly"*
+//! and *"enabl\[ing\] automatic actions for rectifying simple forms of
+//! performance anomaly … once they are detected and diagnosed with high
+//! confidence"*.
+//!
+//! The [`ActionLog`] remembers what the DBA did about each confirmed
+//! cause; on later diagnoses those actions are surfaced as suggestions,
+//! most-frequently-successful first. An [`AutoRemediationPolicy`] turns a
+//! high-confidence diagnosis into a machine-actionable decision, with a
+//! dry-run default so nothing irreversible happens without an operator.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::causal::RankedCause;
+
+/// One remembered remediation for a cause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Remediation {
+    /// What the DBA did, e.g. "throttled tenant 42", "enabled adaptive
+    /// flushing", "provisioned faster disk".
+    pub action: String,
+    /// How often this action was recorded for the cause.
+    pub times_used: usize,
+    /// How often the DBA reported it actually resolved the incident.
+    pub times_successful: usize,
+}
+
+impl Remediation {
+    /// Empirical success rate in `[0, 1]` (unknown-outcome uses count 0).
+    pub fn success_rate(&self) -> f64 {
+        if self.times_used == 0 {
+            0.0
+        } else {
+            self.times_successful as f64 / self.times_used as f64
+        }
+    }
+}
+
+/// Per-cause memory of remediations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ActionLog {
+    actions: HashMap<String, Vec<Remediation>>,
+}
+
+impl ActionLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        ActionLog::default()
+    }
+
+    /// Record that `action` was taken for `cause`; `resolved` is whether
+    /// it fixed the incident.
+    pub fn record(&mut self, cause: &str, action: &str, resolved: bool) {
+        let entries = self.actions.entry(cause.to_string()).or_default();
+        if let Some(entry) = entries.iter_mut().find(|r| r.action == action) {
+            entry.times_used += 1;
+            if resolved {
+                entry.times_successful += 1;
+            }
+        } else {
+            entries.push(Remediation {
+                action: action.to_string(),
+                times_used: 1,
+                times_successful: usize::from(resolved),
+            });
+        }
+    }
+
+    /// Suggestions for `cause`, best success rate first (ties broken by
+    /// usage count).
+    pub fn suggestions(&self, cause: &str) -> Vec<&Remediation> {
+        let mut entries: Vec<&Remediation> =
+            self.actions.get(cause).map(|v| v.iter().collect()).unwrap_or_default();
+        entries.sort_by(|a, b| {
+            b.success_rate()
+                .partial_cmp(&a.success_rate())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.times_used.cmp(&a.times_used))
+        });
+        entries
+    }
+
+    /// Number of causes with at least one remembered action.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+/// A machine-executable counter-measure for one cause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoAction {
+    /// Cause label this action answers.
+    pub cause: String,
+    /// Operator-readable description of the intervention, e.g.
+    /// "throttle background dump to 10 MB/s".
+    pub action: String,
+}
+
+/// What the policy decided for one diagnosis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// Confidence too low, or no action registered: hand to the DBA.
+    Escalate {
+        /// Why the policy did not act.
+        reason: String,
+    },
+    /// An action would be taken (dry-run) or should be taken (armed).
+    Act {
+        /// The selected action.
+        action: AutoAction,
+        /// True when the policy is in dry-run mode and only *recommends*.
+        dry_run: bool,
+    },
+}
+
+/// Automatic-remediation policy: act only on well-known causes diagnosed
+/// with high confidence.
+#[derive(Debug, Clone)]
+pub struct AutoRemediationPolicy {
+    /// Minimum confidence before acting (well above λ; the paper demands
+    /// "detected and diagnosed with high confidence").
+    pub min_confidence: f64,
+    /// Require this margin over the runner-up cause, so ambiguous
+    /// diagnoses always escalate.
+    pub min_margin: f64,
+    /// Registered actions per cause.
+    pub actions: HashMap<String, String>,
+    /// When true (default), decisions are recommendations only.
+    pub dry_run: bool,
+}
+
+impl Default for AutoRemediationPolicy {
+    fn default() -> Self {
+        AutoRemediationPolicy {
+            min_confidence: 0.75,
+            min_margin: 0.15,
+            actions: HashMap::new(),
+            dry_run: true,
+        }
+    }
+}
+
+impl AutoRemediationPolicy {
+    /// Register an action for a cause (builder style).
+    pub fn with_action(mut self, cause: &str, action: &str) -> Self {
+        self.actions.insert(cause.to_string(), action.to_string());
+        self
+    }
+
+    /// Arm the policy (decisions stop being dry-run).
+    pub fn armed(mut self) -> Self {
+        self.dry_run = false;
+        self
+    }
+
+    /// Decide on a ranked diagnosis (best cause first, as produced by
+    /// [`ModelRepository::rank`](crate::causal::ModelRepository::rank)).
+    pub fn decide(&self, ranked: &[RankedCause]) -> Decision {
+        let Some(top) = ranked.first() else {
+            return Decision::Escalate { reason: "no stored causal models".into() };
+        };
+        if top.confidence < self.min_confidence {
+            return Decision::Escalate {
+                reason: format!(
+                    "top cause {:?} at confidence {:.2} below threshold {:.2}",
+                    top.cause, top.confidence, self.min_confidence
+                ),
+            };
+        }
+        if let Some(second) = ranked.get(1) {
+            if top.confidence - second.confidence < self.min_margin {
+                return Decision::Escalate {
+                    reason: format!(
+                        "ambiguous: {:?} ({:.2}) vs {:?} ({:.2})",
+                        top.cause, top.confidence, second.cause, second.confidence
+                    ),
+                };
+            }
+        }
+        match self.actions.get(&top.cause) {
+            Some(action) => Decision::Act {
+                action: AutoAction { cause: top.cause.clone(), action: action.clone() },
+                dry_run: self.dry_run,
+            },
+            None => Decision::Escalate {
+                reason: format!("no registered action for cause {:?}", top.cause),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranked(pairs: &[(&str, f64)]) -> Vec<RankedCause> {
+        pairs
+            .iter()
+            .map(|(c, conf)| RankedCause { cause: c.to_string(), confidence: *conf })
+            .collect()
+    }
+
+    #[test]
+    fn action_log_aggregates_and_ranks() {
+        let mut log = ActionLog::new();
+        log.record("I/O Saturation", "throttle backup", true);
+        log.record("I/O Saturation", "throttle backup", true);
+        log.record("I/O Saturation", "restart server", false);
+        log.record("I/O Saturation", "restart server", true);
+        log.record("Lock Contention", "spread hot keys", true);
+        assert_eq!(log.len(), 2);
+        let suggestions = log.suggestions("I/O Saturation");
+        assert_eq!(suggestions[0].action, "throttle backup");
+        assert_eq!(suggestions[0].times_used, 2);
+        assert!((suggestions[0].success_rate() - 1.0).abs() < 1e-12);
+        assert!((suggestions[1].success_rate() - 0.5).abs() < 1e-12);
+        assert!(log.suggestions("unknown").is_empty());
+    }
+
+    #[test]
+    fn policy_acts_only_with_confidence_and_margin() {
+        let policy = AutoRemediationPolicy::default()
+            .with_action("I/O Saturation", "throttle external writer");
+        // Confident + unambiguous: act (dry-run by default).
+        match policy.decide(&ranked(&[("I/O Saturation", 0.9), ("DB Backup", 0.4)])) {
+            Decision::Act { action, dry_run } => {
+                assert_eq!(action.cause, "I/O Saturation");
+                assert!(dry_run);
+            }
+            other => panic!("expected Act, got {other:?}"),
+        }
+        // Low confidence: escalate.
+        assert!(matches!(
+            policy.decide(&ranked(&[("I/O Saturation", 0.5)])),
+            Decision::Escalate { .. }
+        ));
+        // Ambiguous margin: escalate.
+        assert!(matches!(
+            policy.decide(&ranked(&[("I/O Saturation", 0.9), ("DB Backup", 0.85)])),
+            Decision::Escalate { .. }
+        ));
+        // Unknown cause: escalate.
+        assert!(matches!(
+            policy.decide(&ranked(&[("Mystery", 0.99), ("DB Backup", 0.2)])),
+            Decision::Escalate { .. }
+        ));
+        // Empty ranking: escalate.
+        assert!(matches!(policy.decide(&[]), Decision::Escalate { .. }));
+    }
+
+    #[test]
+    fn armed_policy_is_not_dry_run() {
+        let policy = AutoRemediationPolicy::default().with_action("x", "do it").armed();
+        match policy.decide(&ranked(&[("x", 0.95)])) {
+            Decision::Act { dry_run, .. } => assert!(!dry_run),
+            other => panic!("expected Act, got {other:?}"),
+        }
+    }
+}

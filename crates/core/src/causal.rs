@@ -1,0 +1,308 @@
+//! Causal models: user-confirmed causes with effect predicates (paper §6).
+//!
+//! A causal model is a simplified Halpern–Pearl model: a binary exogenous
+//! *cause variable* (the DBA's diagnosis, e.g. "Log Rotation") whose truth
+//! activates a set of *effect predicates*. At diagnosis time every stored
+//! model is scored by its **confidence** (Eq. 3) — the average separation
+//! power of its effect predicates in the partition space of the dataset
+//! under diagnosis — and causes above the threshold `λ` are offered to the
+//! user in decreasing confidence order.
+
+use dbsherlock_telemetry::{Dataset, Region};
+use serde::{Deserialize, Serialize};
+
+use crate::generate::GeneratedPredicate;
+use crate::label::label_partitions;
+use crate::params::SherlockParams;
+use crate::partition::PartitionSpace;
+use crate::predicate::Predicate;
+use crate::separation::partition_separation_power;
+
+/// A cause variable and its effect predicates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CausalModel {
+    /// Human-readable cause label supplied by the user.
+    pub cause: String,
+    /// Effect predicates activated when the cause is true.
+    pub predicates: Vec<Predicate>,
+    /// How many diagnosed datasets contributed to this model (1 for a
+    /// fresh model; grows when models are merged, §6.2).
+    pub merged_from: usize,
+}
+
+impl CausalModel {
+    /// Build a model from a confirmed diagnosis.
+    pub fn from_feedback(
+        cause: impl Into<String>,
+        predicates: &[GeneratedPredicate],
+    ) -> Self {
+        CausalModel {
+            cause: cause.into(),
+            predicates: predicates.iter().map(|g| g.predicate.clone()).collect(),
+            merged_from: 1,
+        }
+    }
+
+    /// Confidence of this model for the anomaly `(abnormal, normal)` in
+    /// `dataset` (Eq. 3): the mean, over effect predicates, of the
+    /// partition-space separation power of each predicate. Predicates on
+    /// attributes the dataset lacks (or that cannot be partitioned)
+    /// contribute `0`. Returns a value in `[-1, 1]`; an empty model scores
+    /// `0`.
+    pub fn confidence(
+        &self,
+        dataset: &Dataset,
+        abnormal: &Region,
+        normal: &Region,
+        params: &SherlockParams,
+    ) -> f64 {
+        if self.predicates.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .predicates
+            .iter()
+            .map(|pred| {
+                let Some(attr_id) = dataset.schema().id_of(&pred.attr) else { return 0.0 };
+                let Some(space) = PartitionSpace::build(dataset, attr_id, params.n_partitions)
+                else {
+                    return 0.0;
+                };
+                let labels = label_partitions(dataset, attr_id, &space, abnormal, normal);
+                partition_separation_power(pred, &space, &labels, dataset, attr_id)
+            })
+            .sum();
+        total / self.predicates.len() as f64
+    }
+
+    /// Rows of `dataset` this model flags abnormal: those satisfying the
+    /// *conjunction* of all effect predicates.
+    pub fn predicted_region(&self, dataset: &Dataset) -> Region {
+        if self.predicates.is_empty() {
+            return Region::new();
+        }
+        Region::from_indices((0..dataset.n_rows()).filter(|&row| {
+            self.predicates.iter().all(|p| p.matches_row(dataset, row))
+        }))
+    }
+
+    /// Precision, recall, and F1 of the model's predicted abnormal rows
+    /// against a ground-truth region (the paper's F1-measure, footnote 1).
+    pub fn f1(&self, dataset: &Dataset, truth: &Region) -> Accuracy {
+        Accuracy::of_regions(&self.predicted_region(dataset), truth)
+    }
+}
+
+/// Precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Accuracy {
+    /// `tp / (tp + fp)`.
+    pub precision: f64,
+    /// `tp / (tp + fn)`.
+    pub recall: f64,
+    /// `2pr / (p + r)`.
+    pub f1: f64,
+}
+
+impl Accuracy {
+    /// Score `predicted` against `truth` (both row-index regions).
+    pub fn of_regions(predicted: &Region, truth: &Region) -> Accuracy {
+        let tp = predicted.intersect(truth).len() as f64;
+        let precision = if predicted.is_empty() { 0.0 } else { tp / predicted.len() as f64 };
+        let recall = if truth.is_empty() { 0.0 } else { tp / truth.len() as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Accuracy { precision, recall, f1 }
+    }
+}
+
+/// One ranked diagnosis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedCause {
+    /// The model's cause label.
+    pub cause: String,
+    /// Its confidence for the current anomaly, in `[-1, 1]`.
+    pub confidence: f64,
+}
+
+/// The system's accumulated causal models.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ModelRepository {
+    models: Vec<CausalModel>,
+}
+
+impl ModelRepository {
+    /// Empty repository.
+    pub fn new() -> Self {
+        ModelRepository::default()
+    }
+
+    /// Add a model. If a model with the same cause exists, the two are
+    /// merged (§6.2); otherwise the model is stored as-is.
+    pub fn add(&mut self, model: CausalModel) {
+        if let Some(existing) = self.models.iter_mut().find(|m| m.cause == model.cause) {
+            *existing = crate::merge::merge_models(existing, &model);
+        } else {
+            self.models.push(model);
+        }
+    }
+
+    /// Stored models.
+    pub fn models(&self) -> &[CausalModel] {
+        &self.models
+    }
+
+    /// Model for a cause, if present.
+    pub fn model_of(&self, cause: &str) -> Option<&CausalModel> {
+        self.models.iter().find(|m| m.cause == cause)
+    }
+
+    /// Score every model against the anomaly and return all causes in
+    /// decreasing confidence order (unfiltered; apply `λ` at the
+    /// presentation layer so callers can inspect margins).
+    pub fn rank(
+        &self,
+        dataset: &Dataset,
+        abnormal: &Region,
+        normal: &Region,
+        params: &SherlockParams,
+    ) -> Vec<RankedCause> {
+        let mut ranked: Vec<RankedCause> = self
+            .models
+            .iter()
+            .map(|m| RankedCause {
+                cause: m.cause.clone(),
+                confidence: m.confidence(dataset, abnormal, normal, params),
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsherlock_telemetry::{AttributeMeta, Schema, Value};
+
+    /// 40 rows; `hot` jumps to ~100 in rows 20..30, `cold` drops to ~0.
+    fn dataset() -> (Dataset, Region, Region) {
+        let schema = Schema::from_attrs([
+            AttributeMeta::numeric("hot"),
+            AttributeMeta::numeric("cold"),
+        ])
+        .unwrap();
+        let mut d = Dataset::new(schema);
+        for i in 0..40 {
+            let abnormal = (20..30).contains(&i);
+            let hot = if abnormal { 100.0 + (i % 3) as f64 } else { 10.0 + (i % 5) as f64 };
+            let cold = if abnormal { (i % 3) as f64 } else { 50.0 + (i % 5) as f64 };
+            d.push_row(i as f64, &[Value::Num(hot), Value::Num(cold)]).unwrap();
+        }
+        let abnormal = Region::from_range(20..30);
+        let normal = abnormal.complement(40);
+        (d, abnormal, normal)
+    }
+
+    fn matching_model() -> CausalModel {
+        CausalModel {
+            cause: "overheat".into(),
+            predicates: vec![Predicate::gt("hot", 50.0), Predicate::lt("cold", 25.0)],
+            merged_from: 1,
+        }
+    }
+
+    fn wrong_model() -> CausalModel {
+        CausalModel {
+            cause: "wrong".into(),
+            predicates: vec![Predicate::lt("hot", 50.0)],
+            merged_from: 1,
+        }
+    }
+
+    #[test]
+    fn matching_model_has_high_confidence() {
+        let (d, abnormal, normal) = dataset();
+        let params = SherlockParams::default();
+        let good = matching_model().confidence(&d, &abnormal, &normal, &params);
+        let bad = wrong_model().confidence(&d, &abnormal, &normal, &params);
+        assert!(good > 0.9, "good {good}");
+        assert!(bad < 0.0, "bad {bad}");
+    }
+
+    #[test]
+    fn confidence_of_unknown_attribute_is_zero() {
+        let (d, abnormal, normal) = dataset();
+        let m = CausalModel {
+            cause: "x".into(),
+            predicates: vec![Predicate::gt("missing", 0.0)],
+            merged_from: 1,
+        };
+        assert_eq!(m.confidence(&d, &abnormal, &normal, &SherlockParams::default()), 0.0);
+        let empty = CausalModel { cause: "e".into(), predicates: vec![], merged_from: 1 };
+        assert_eq!(empty.confidence(&d, &abnormal, &normal, &SherlockParams::default()), 0.0);
+    }
+
+    #[test]
+    fn predicted_region_is_conjunction() {
+        let (d, abnormal, _) = dataset();
+        let m = matching_model();
+        let predicted = m.predicted_region(&d);
+        assert_eq!(predicted, abnormal);
+        let acc = m.f1(&d, &abnormal);
+        assert_eq!(acc.precision, 1.0);
+        assert_eq!(acc.recall, 1.0);
+        assert_eq!(acc.f1, 1.0);
+    }
+
+    #[test]
+    fn accuracy_handles_empty_sides() {
+        let empty = Region::new();
+        let truth = Region::from_range(0..5);
+        let acc = Accuracy::of_regions(&empty, &truth);
+        assert_eq!((acc.precision, acc.recall, acc.f1), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn accuracy_partial_overlap() {
+        let predicted = Region::from_range(0..10);
+        let truth = Region::from_range(5..10);
+        let acc = Accuracy::of_regions(&predicted, &truth);
+        assert_eq!(acc.precision, 0.5);
+        assert_eq!(acc.recall, 1.0);
+        assert!((acc.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repository_ranks_by_confidence() {
+        let (d, abnormal, normal) = dataset();
+        let mut repo = ModelRepository::new();
+        repo.add(wrong_model());
+        repo.add(matching_model());
+        let ranked = repo.rank(&d, &abnormal, &normal, &SherlockParams::default());
+        assert_eq!(ranked[0].cause, "overheat");
+        assert!(ranked[0].confidence > ranked[1].confidence);
+    }
+
+    #[test]
+    fn repository_merges_same_cause() {
+        let mut repo = ModelRepository::new();
+        repo.add(matching_model());
+        repo.add(CausalModel {
+            cause: "overheat".into(),
+            predicates: vec![Predicate::gt("hot", 60.0)],
+            merged_from: 1,
+        });
+        assert_eq!(repo.models().len(), 1);
+        let m = repo.model_of("overheat").unwrap();
+        assert_eq!(m.merged_from, 2);
+        // Only the common attribute survives the merge.
+        assert_eq!(m.predicates.len(), 1);
+        assert_eq!(m.predicates[0], Predicate::gt("hot", 50.0));
+    }
+}

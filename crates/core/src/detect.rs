@@ -1,0 +1,210 @@
+//! Automatic anomaly detection (paper §7).
+//!
+//! 1. Min–max-normalize every numeric attribute (Eq. 2).
+//! 2. Compute each attribute's **potential power** (Eq. 4): the maximum
+//!    absolute difference between the attribute's overall median and the
+//!    median within any sliding window of size `τ` — a median filter that
+//!    responds to abrupt, sustained level shifts while ignoring isolated
+//!    spikes. Keep attributes with `PP > PP_t`.
+//! 3. Cluster the rows (as points over the selected attributes) with
+//!    DBSCAN, `minPts = 3` and `ε = max(L_3)/4` from the k-dist list.
+//!    One refinement over the paper's rule: `ε` is floored at twice the
+//!    99th percentile of `L_3`, so it never drops below the data's own
+//!    local density (with step-shaped anomalies there are no transition
+//!    points between the normal and abnormal blobs, `max(L_3)` collapses
+//!    to the intra-blob spacing, and the bare `/4` rule would shatter both
+//!    blobs into noise).
+//! 4. Report the rows of every cluster smaller than 20% of all rows —
+//!    anomalies are assumed to be a small minority (§7). Points DBSCAN
+//!    labels as noise are not reported, per the paper.
+
+use dbsherlock_cluster::{dbscan, kdist_list, rows_from_columns, Label};
+use dbsherlock_telemetry::{stats, AttributeKind, Dataset, Region};
+
+use crate::params::SherlockParams;
+
+/// Potential power of a normalized series (Eq. 4): the largest absolute
+/// deviation of any `tau`-window median from the global median.
+pub fn potential_power(normalized: &[f64], tau: usize) -> f64 {
+    if normalized.is_empty() || tau == 0 || tau > normalized.len() {
+        return 0.0;
+    }
+    let global = stats::median(normalized);
+    let mut scratch = vec![0.0; tau];
+    let mut best: f64 = 0.0;
+    for window in normalized.windows(tau) {
+        scratch.copy_from_slice(window);
+        let m = stats::median_in_place(&mut scratch);
+        best = best.max((m - global).abs());
+    }
+    best
+}
+
+/// Attribute ids whose potential power exceeds `PP_t`, with their
+/// normalized columns.
+fn select_attributes(dataset: &Dataset, params: &SherlockParams) -> Vec<(usize, Vec<f64>)> {
+    dataset
+        .schema()
+        .ids_of_kind(AttributeKind::Numeric)
+        .into_iter()
+        .filter_map(|attr_id| {
+            let values = dataset.numeric(attr_id).ok()?;
+            let normalized = stats::normalize_slice(values);
+            let pp = potential_power(&normalized, params.tau);
+            (pp > params.pp_t).then_some((attr_id, normalized))
+        })
+        .collect()
+}
+
+/// Result of automatic detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// Proposed abnormal rows.
+    pub region: Region,
+    /// Attributes (by id) that passed the potential-power filter.
+    pub selected_attrs: Vec<usize>,
+}
+
+/// Run automatic anomaly detection over `dataset`. Returns `None` when no
+/// attribute shows enough potential power or when clustering finds nothing
+/// small enough to call anomalous.
+pub fn detect_anomaly(dataset: &Dataset, params: &SherlockParams) -> Option<Detection> {
+    let selected = select_attributes(dataset, params);
+    if selected.is_empty() {
+        return None;
+    }
+    let columns: Vec<&[f64]> = selected.iter().map(|(_, col)| col.as_slice()).collect();
+    let points = rows_from_columns(&columns);
+    if points.len() < params.min_pts {
+        return None;
+    }
+    let lk = kdist_list(&points, params.min_pts);
+    let max_lk = lk.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max_lk <= 0.0 || !max_lk.is_finite() {
+        return None;
+    }
+    // The paper's rule with a local-density floor (see module docs): ε
+    // never drops below twice the 99th percentile of L_k, so clusters stay
+    // internally connected even when there are no transition points to
+    // prop up max(L_k).
+    let eps = (max_lk / 4.0).max(2.0 * stats::quantile(&lk, 0.99));
+    let clustering = dbscan(&points, eps, params.min_pts);
+    let n = points.len();
+    let max_cluster = (params.max_anomaly_fraction * n as f64) as usize;
+    let sizes = clustering.sizes();
+    let mut rows: Vec<usize> = Vec::new();
+    for (row, label) in clustering.labels.iter().enumerate() {
+        let anomalous = match label {
+            Label::Noise => false,
+            Label::Cluster(id) => sizes[*id] < max_cluster,
+        };
+        if anomalous {
+            rows.push(row);
+        }
+    }
+    if rows.is_empty() || rows.len() >= n {
+        return None;
+    }
+    Some(Detection {
+        region: Region::from_indices(rows),
+        selected_attrs: selected.into_iter().map(|(id, _)| id).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsherlock_telemetry::{AttributeMeta, Schema, Value};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn potential_power_of_level_shift() {
+        // 100 points at 0, then 30 at 1: window of 20 inside the shifted
+        // block has median 1; global median 0.
+        let mut series = vec![0.0; 100];
+        series.extend(vec![1.0; 30]);
+        assert!((potential_power(&series, 20) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn potential_power_ignores_isolated_spike() {
+        // A single-sample spike cannot dominate a 20-sample median.
+        let mut series = vec![0.0; 100];
+        series[50] = 1.0;
+        assert_eq!(potential_power(&series, 20), 0.0);
+    }
+
+    #[test]
+    fn potential_power_degenerate_inputs() {
+        assert_eq!(potential_power(&[], 20), 0.0);
+        assert_eq!(potential_power(&[1.0, 2.0], 20), 0.0);
+        assert_eq!(potential_power(&[1.0, 2.0, 3.0], 0), 0.0);
+    }
+
+    /// 300 rows of noisy baseline with a 40-row level shift in two
+    /// attributes; one pure-noise attribute.
+    fn dataset_with_shift() -> (Dataset, Region) {
+        let schema = Schema::from_attrs([
+            AttributeMeta::numeric("a"),
+            AttributeMeta::numeric("b"),
+            AttributeMeta::numeric("noise"),
+        ])
+        .unwrap();
+        let mut d = Dataset::new(schema);
+        let mut rng = StdRng::seed_from_u64(77);
+        for i in 0..300 {
+            let shifted = (200..240).contains(&i);
+            let a = if shifted { 95.0 } else { 10.0 } + rng.random::<f64>() * 4.0;
+            let b = if shifted { 3.0 } else { 70.0 } + rng.random::<f64>() * 4.0;
+            // Bell-ish noise: min–max normalization stretches any series
+            // to [0, 1], so a realistic noise attribute concentrates its
+            // mass near the middle instead of being uniform over the range.
+            let noise = (rng.random::<f64>() + rng.random::<f64>() + rng.random::<f64>())
+                / 3.0
+                * 100.0;
+            d.push_row(i as f64, &[Value::Num(a), Value::Num(b), Value::Num(noise)]).unwrap();
+        }
+        (d, Region::from_range(200..240))
+    }
+
+    #[test]
+    fn detects_the_shifted_block() {
+        let (d, truth) = dataset_with_shift();
+        let detection = detect_anomaly(&d, &SherlockParams::default()).unwrap();
+        let iou = detection.region.iou(&truth);
+        assert!(iou > 0.8, "IoU {iou}, detected {:?}", detection.region.intervals());
+        // The pure-noise attribute must not be selected.
+        let noise_id = d.schema().id_of("noise").unwrap();
+        assert!(!detection.selected_attrs.contains(&noise_id));
+        assert_eq!(detection.selected_attrs.len(), 2);
+    }
+
+    #[test]
+    fn no_detection_on_steady_data() {
+        let schema = Schema::from_attrs([AttributeMeta::numeric("x")]).unwrap();
+        let mut d = Dataset::new(schema);
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..200 {
+            d.push_row(i as f64, &[Value::Num(50.0 + rng.random::<f64>())]).unwrap();
+        }
+        assert!(detect_anomaly(&d, &SherlockParams::default()).is_none());
+    }
+
+    #[test]
+    fn no_detection_when_anomaly_is_majority() {
+        // A 50/50 split: neither cluster is under 20%, no noise points.
+        let schema = Schema::from_attrs([AttributeMeta::numeric("x")]).unwrap();
+        let mut d = Dataset::new(schema);
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..200 {
+            let base = if i < 100 { 10.0 } else { 90.0 };
+            d.push_row(i as f64, &[Value::Num(base + rng.random::<f64>())]).unwrap();
+        }
+        let detection = detect_anomaly(&d, &SherlockParams::default());
+        if let Some(det) = detection {
+            // Only stray noise points may be reported, never a whole half.
+            assert!(det.region.len() < 20, "{:?}", det.region.intervals());
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The end-to-end diagnosis façade (paper Fig. 2, steps 4–6).
+//!
+//! [`Sherlock`] bundles the parameters, the optional domain knowledge, and
+//! the accumulated causal models. A diagnosis session is:
+//!
+//! 1. [`Sherlock::explain`] — the user hands over a dataset and the region
+//!    they consider abnormal; DBSherlock returns generated predicates plus
+//!    every stored cause whose confidence clears `λ`, best first.
+//! 2. The user identifies the real cause with those clues and calls
+//!    [`Sherlock::feedback`]; the predicates become a causal model (merged
+//!    with any existing model of the same cause).
+//! 3. [`Sherlock::detect`] proposes an abnormal region automatically when
+//!    the user has none (§7).
+
+use dbsherlock_telemetry::{Dataset, Region};
+
+use crate::actions::{ActionLog, Remediation};
+use crate::causal::{CausalModel, ModelRepository, RankedCause};
+use crate::detect::{detect_anomaly, Detection};
+use crate::domain::DomainKnowledge;
+use crate::generate::{generate_predicates, GeneratedPredicate};
+use crate::params::SherlockParams;
+use crate::predicate::display_conjunction;
+
+/// A complete explanation for one user-specified anomaly.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// Predicates surviving generation + domain-knowledge pruning, in
+    /// schema order.
+    pub predicates: Vec<GeneratedPredicate>,
+    /// Causes with confidence ≥ λ, in decreasing confidence order.
+    pub causes: Vec<RankedCause>,
+    /// Every stored cause's confidence (superset of `causes`), for
+    /// margin-of-confidence analyses.
+    pub all_causes: Vec<RankedCause>,
+}
+
+impl Explanation {
+    /// Paper-style rendering of the predicate conjunction.
+    pub fn predicates_display(&self) -> String {
+        let predicates: Vec<_> = self.predicates.iter().map(|g| g.predicate.clone()).collect();
+        display_conjunction(&predicates)
+    }
+
+    /// The most confident cause, if any cleared λ.
+    pub fn top_cause(&self) -> Option<&RankedCause> {
+        self.causes.first()
+    }
+}
+
+/// The DBSherlock engine: parameters + domain knowledge + causal models +
+/// remediation memory.
+#[derive(Debug, Clone, Default)]
+pub struct Sherlock {
+    params: SherlockParams,
+    domain: DomainKnowledge,
+    repository: ModelRepository,
+    actions: ActionLog,
+}
+
+impl Sherlock {
+    /// Engine with the given parameters and no domain knowledge.
+    pub fn new(params: SherlockParams) -> Self {
+        Sherlock { params, ..Sherlock::default() }
+    }
+
+    /// Install domain knowledge (builder style).
+    pub fn with_domain_knowledge(mut self, domain: DomainKnowledge) -> Self {
+        self.domain = domain;
+        self
+    }
+
+    /// Current parameters.
+    pub fn params(&self) -> &SherlockParams {
+        &self.params
+    }
+
+    /// The stored causal models.
+    pub fn repository(&self) -> &ModelRepository {
+        &self.repository
+    }
+
+    /// Mutable access to the repository (used by experiment harnesses that
+    /// construct models from ground truth rather than via `feedback`).
+    pub fn repository_mut(&mut self) -> &mut ModelRepository {
+        &mut self.repository
+    }
+
+    /// Explain an anomaly. `normal` defaults to the complement of
+    /// `abnormal` when the user did not mark a normal region explicitly
+    /// (§2.2).
+    pub fn explain(
+        &self,
+        dataset: &Dataset,
+        abnormal: &Region,
+        normal: Option<&Region>,
+    ) -> Explanation {
+        let default_normal;
+        let normal = match normal {
+            Some(region) => region,
+            None => {
+                default_normal = abnormal.complement(dataset.n_rows());
+                &default_normal
+            }
+        };
+        let raw = generate_predicates(dataset, abnormal, normal, &self.params);
+        let predicates = self.domain.prune(dataset, raw, &self.params);
+        let all_causes = self.repository.rank(dataset, abnormal, normal, &self.params);
+        let causes = all_causes
+            .iter()
+            .filter(|c| c.confidence >= self.params.lambda)
+            .cloned()
+            .collect();
+        Explanation { predicates, causes, all_causes }
+    }
+
+    /// The user confirmed `cause` for an anomaly whose explanation carried
+    /// `predicates`: store (and possibly merge) the causal model.
+    pub fn feedback(&mut self, cause: &str, predicates: &[GeneratedPredicate]) {
+        self.repository.add(CausalModel::from_feedback(cause, predicates));
+    }
+
+    /// [`feedback`](Self::feedback) that also records the remediation the
+    /// DBA applied and whether it resolved the incident (paper §10's
+    /// future work: stored actions become suggestions).
+    pub fn feedback_with_action(
+        &mut self,
+        cause: &str,
+        predicates: &[GeneratedPredicate],
+        action: &str,
+        resolved: bool,
+    ) {
+        self.feedback(cause, predicates);
+        self.actions.record(cause, action, resolved);
+    }
+
+    /// Remembered remediations for a cause, best success rate first.
+    pub fn suggested_actions(&self, cause: &str) -> Vec<&Remediation> {
+        self.actions.suggestions(cause)
+    }
+
+    /// The remediation memory.
+    pub fn action_log(&self) -> &ActionLog {
+        &self.actions
+    }
+
+    /// Automatic anomaly detection (§7).
+    pub fn detect(&self, dataset: &Dataset) -> Option<Detection> {
+        detect_anomaly(dataset, &self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsherlock_telemetry::{AttributeMeta, Schema, Value};
+
+    /// `signal` leaps in rows 30..45.
+    fn dataset() -> (Dataset, Region) {
+        let schema = Schema::from_attrs([
+            AttributeMeta::numeric("signal"),
+            AttributeMeta::numeric("steady"),
+        ])
+        .unwrap();
+        let mut d = Dataset::new(schema);
+        for i in 0..80 {
+            let abnormal = (30..45).contains(&i);
+            // Fractional jitter keeps values distinct, like real telemetry.
+            let jitter = (i as f64 * 0.317).sin() * 0.9;
+            let signal =
+                if abnormal { 80.0 + (i % 4) as f64 } else { 5.0 + (i % 6) as f64 } + jitter;
+            d.push_row(i as f64, &[Value::Num(signal), Value::Num(40.0 + (i % 3) as f64)])
+                .unwrap();
+        }
+        (d, Region::from_range(30..45))
+    }
+
+    #[test]
+    fn explain_then_feedback_then_rediagnose() {
+        let (d, abnormal) = dataset();
+        let mut sherlock = Sherlock::new(SherlockParams::default());
+        let explanation = sherlock.explain(&d, &abnormal, None);
+        assert!(!explanation.predicates.is_empty());
+        assert!(explanation.causes.is_empty(), "no models yet");
+        assert!(explanation.predicates_display().contains("signal"));
+
+        sherlock.feedback("cache stampede", &explanation.predicates);
+        assert_eq!(sherlock.repository().models().len(), 1);
+
+        // Re-diagnosing the same anomaly must surface the stored cause.
+        let second = sherlock.explain(&d, &abnormal, None);
+        let top = second.top_cause().expect("cause above lambda");
+        assert_eq!(top.cause, "cache stampede");
+        assert!(top.confidence > 0.5);
+    }
+
+    #[test]
+    fn explicit_normal_region_is_honoured() {
+        let (d, abnormal) = dataset();
+        let sherlock = Sherlock::new(SherlockParams::default());
+        // Giving only rows 0..10 as normal (instead of the complement)
+        // must still find the signal predicate.
+        let normal = Region::from_range(0..10);
+        let explanation = sherlock.explain(&d, &abnormal, Some(&normal));
+        assert!(explanation.predicates.iter().any(|p| p.predicate.attr == "signal"));
+    }
+
+    #[test]
+    fn low_confidence_causes_are_hidden_but_listed() {
+        let (d, abnormal) = dataset();
+        let mut sherlock = Sherlock::new(SherlockParams::default());
+        // A model that fits nothing in this dataset.
+        sherlock.repository_mut().add(CausalModel {
+            cause: "red herring".into(),
+            predicates: vec![crate::predicate::Predicate::lt("signal", -100.0)],
+            merged_from: 1,
+        });
+        let explanation = sherlock.explain(&d, &abnormal, None);
+        assert!(explanation.causes.is_empty());
+        assert_eq!(explanation.all_causes.len(), 1);
+    }
+
+    #[test]
+    fn detect_finds_the_anomalous_window() {
+        let (d, truth) = dataset();
+        let sherlock = Sherlock::new(SherlockParams::default());
+        let detection = sherlock.detect(&d).expect("detectable shift");
+        assert!(detection.region.iou(&truth) > 0.6, "{:?}", detection.region.intervals());
+    }
+}

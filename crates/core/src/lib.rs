@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+
+//! The DBSherlock algorithm: performance diagnosis for transactional
+//! databases.
+//!
+//! A from-scratch Rust implementation of "DBSherlock: A Performance
+//! Diagnostic Tool for Transactional Databases" (Yoon, Niu, Mozafari —
+//! SIGMOD 2016):
+//!
+//! * **Predicate generation** (§§3–4): partition space, labeling, noise
+//!   filtering, gap filling, extraction — [`generate`], [`partition`],
+//!   [`label`], [`filter`], [`fill`], [`extract`].
+//! * **Domain knowledge** (§5): rules validated by a mutual-information
+//!   independence test prune secondary symptoms — [`domain`].
+//! * **Causal models** (§6): confidence (Eq. 3), ranking, merging —
+//!   [`causal`], [`merge`].
+//! * **Automatic anomaly detection** (§7): potential power + DBSCAN —
+//!   [`detect`].
+//! * **Façade** ([`Sherlock`]): explain → feedback → improved diagnoses.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dbsherlock_core::{Sherlock, SherlockParams};
+//! use dbsherlock_telemetry::{AttributeMeta, Dataset, Region, Schema, Value};
+//!
+//! // Telemetry with an obvious anomaly in rows 60..80.
+//! let schema = Schema::from_attrs([AttributeMeta::numeric("cpu")]).unwrap();
+//! let mut data = Dataset::new(schema);
+//! for i in 0..120 {
+//!     let cpu = if (60..80).contains(&i) { 95.0 } else { 20.0 } + (i % 5) as f64;
+//!     data.push_row(i as f64, &[Value::Num(cpu)]).unwrap();
+//! }
+//!
+//! let mut sherlock = Sherlock::new(SherlockParams::default());
+//! let abnormal = Region::from_range(60..80);
+//! let explanation = sherlock.explain(&data, &abnormal, None);
+//! assert!(explanation.predicates_display().contains("cpu >"));
+//!
+//! // The DBA confirms the diagnosis; future anomalies match the model.
+//! sherlock.feedback("runaway batch job", &explanation.predicates);
+//! let again = sherlock.explain(&data, &abnormal, None);
+//! assert_eq!(again.top_cause().unwrap().cause, "runaway batch job");
+//! ```
+
+pub mod actions;
+pub mod causal;
+pub mod detect;
+pub mod diagnose;
+pub mod domain;
+pub mod extract;
+pub mod fill;
+pub mod filter;
+pub mod generate;
+pub mod label;
+pub mod merge;
+pub mod params;
+pub mod partition;
+pub mod predicate;
+pub mod separation;
+
+pub use actions::{ActionLog, AutoAction, AutoRemediationPolicy, Decision, Remediation};
+pub use causal::{Accuracy, CausalModel, ModelRepository, RankedCause};
+pub use detect::{detect_anomaly, potential_power, Detection};
+pub use diagnose::{Explanation, Sherlock};
+pub use domain::{independence_factor, DomainKnowledge, Rule};
+pub use generate::{
+    generate_predicates, generate_predicates_ablated, AblationFlags, GeneratedPredicate,
+};
+pub use merge::{merge_all, merge_models, merge_predicates};
+pub use params::SherlockParams;
+pub use partition::{PartitionLabel, PartitionSpace};
+pub use predicate::{display_conjunction, Predicate, PredicateOp};
+pub use separation::{partition_separation_power, separation_power};

@@ -1,0 +1,185 @@
+//! Merging causal models with the same cause (paper §6.2).
+//!
+//! Merging (a) keeps only effect predicates on attributes **common to both
+//! models**, and (b) combines each pair of same-attribute predicates:
+//!
+//! * numeric predicates of the same direction widen to include both
+//!   boundaries (`A > 10` ⊕ `A > 15` → `A > 10`; `C > 20` ⊕ `C > 15` →
+//!   `C > 15` — i.e. the union of the matched regions);
+//! * numeric predicates of opposite directions (`A > 10` vs `A < 30`) are
+//!   inconsistent and the attribute is discarded;
+//! * a one-sided predicate absorbs a `Between` on the same side by
+//!   widening to the union of the two regions;
+//! * categorical predicates keep the **intersection** of their category
+//!   sets (the paper's worked example merges `{xx, yy, zz}` with
+//!   `{xx, zz}` into `{xx, zz}`); an empty intersection discards the
+//!   attribute.
+
+use crate::causal::CausalModel;
+use crate::predicate::{Predicate, PredicateOp};
+
+/// Merge two same-attribute predicates, or `None` when inconsistent.
+pub fn merge_predicates(a: &Predicate, b: &Predicate) -> Option<Predicate> {
+    debug_assert_eq!(a.attr, b.attr);
+    use PredicateOp::*;
+    let op = match (&a.op, &b.op) {
+        (Gt(x), Gt(y)) => Gt(x.min(*y)),
+        (Lt(x), Lt(y)) => Lt(x.max(*y)),
+        (Between(l1, h1), Between(l2, h2)) => Between(l1.min(*l2), h1.max(*h2)),
+        // One-sided ⊕ Between: widen the one-sided bound to cover the
+        // interval (union of the two matched regions).
+        (Gt(x), Between(l, _)) | (Between(l, _), Gt(x)) => Gt(x.min(*l)),
+        (Lt(x), Between(_, h)) | (Between(_, h), Lt(x)) => Lt(x.max(*h)),
+        // Opposite directions are inconsistent (paper §6.2).
+        (Gt(_), Lt(_)) | (Lt(_), Gt(_)) => return None,
+        (InSet(s1), InSet(s2)) => {
+            let intersection: Vec<String> =
+                s1.iter().filter(|l| s2.contains(l)).cloned().collect();
+            if intersection.is_empty() {
+                return None;
+            }
+            InSet(intersection)
+        }
+        // Kind mismatch on the same attribute name (shouldn't happen with
+        // a consistent schema): inconsistent.
+        _ => return None,
+    };
+    Some(Predicate { attr: a.attr.clone(), op })
+}
+
+/// Merge two models sharing a cause.
+pub fn merge_models(m1: &CausalModel, m2: &CausalModel) -> CausalModel {
+    debug_assert_eq!(m1.cause, m2.cause);
+    let mut predicates = Vec::new();
+    for p1 in &m1.predicates {
+        let Some(p2) = m2.predicates.iter().find(|p| p.attr == p1.attr) else { continue };
+        if let Some(merged) = merge_predicates(p1, p2) {
+            predicates.push(merged);
+        }
+    }
+    CausalModel {
+        cause: m1.cause.clone(),
+        predicates,
+        merged_from: m1.merged_from + m2.merged_from,
+    }
+}
+
+/// Fold a sequence of same-cause models into one.
+pub fn merge_all<'a>(models: impl IntoIterator<Item = &'a CausalModel>) -> Option<CausalModel> {
+    let mut iter = models.into_iter();
+    let first = iter.next()?.clone();
+    Some(iter.fold(first, |acc, m| merge_models(&acc, m)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // M1: {A > 10, B > 100, C > 20, E ∈ {xx, yy, zz}}
+        // M2: {A > 15, C > 15, D < 250, E ∈ {xx, zz}}
+        let m1 = CausalModel {
+            cause: "c".into(),
+            predicates: vec![
+                Predicate::gt("A", 10.0),
+                Predicate::gt("B", 100.0),
+                Predicate::gt("C", 20.0),
+                Predicate::in_set("E", ["xx".into(), "yy".into(), "zz".into()]),
+            ],
+            merged_from: 1,
+        };
+        let m2 = CausalModel {
+            cause: "c".into(),
+            predicates: vec![
+                Predicate::gt("A", 15.0),
+                Predicate::gt("C", 15.0),
+                Predicate::lt("D", 250.0),
+                Predicate::in_set("E", ["xx".into(), "zz".into()]),
+            ],
+            merged_from: 1,
+        };
+        let merged = merge_models(&m1, &m2);
+        assert_eq!(
+            merged.predicates,
+            vec![
+                Predicate::gt("A", 10.0),
+                Predicate::gt("C", 15.0),
+                Predicate::in_set("E", ["xx".into(), "zz".into()]),
+            ]
+        );
+        assert_eq!(merged.merged_from, 2);
+    }
+
+    #[test]
+    fn opposite_directions_discard_attribute() {
+        assert_eq!(merge_predicates(&Predicate::gt("A", 10.0), &Predicate::lt("A", 30.0)), None);
+        assert_eq!(merge_predicates(&Predicate::lt("A", 30.0), &Predicate::gt("A", 10.0)), None);
+    }
+
+    #[test]
+    fn lt_predicates_take_wider_bound() {
+        let merged =
+            merge_predicates(&Predicate::lt("A", 10.0), &Predicate::lt("A", 30.0)).unwrap();
+        assert_eq!(merged, Predicate::lt("A", 30.0));
+    }
+
+    #[test]
+    fn between_union() {
+        let merged = merge_predicates(
+            &Predicate::between("A", 10.0, 20.0),
+            &Predicate::between("A", 15.0, 40.0),
+        )
+        .unwrap();
+        assert_eq!(merged, Predicate::between("A", 10.0, 40.0));
+    }
+
+    #[test]
+    fn one_sided_absorbs_between() {
+        let merged =
+            merge_predicates(&Predicate::gt("A", 50.0), &Predicate::between("A", 30.0, 60.0))
+                .unwrap();
+        assert_eq!(merged, Predicate::gt("A", 30.0));
+        let merged =
+            merge_predicates(&Predicate::between("A", 30.0, 60.0), &Predicate::lt("A", 40.0))
+                .unwrap();
+        assert_eq!(merged, Predicate::lt("A", 60.0));
+    }
+
+    #[test]
+    fn disjoint_category_sets_discard() {
+        let a = Predicate::in_set("E", ["x".to_string()]);
+        let b = Predicate::in_set("E", ["y".to_string()]);
+        assert_eq!(merge_predicates(&a, &b), None);
+    }
+
+    #[test]
+    fn merge_all_folds() {
+        let make = |threshold: f64| CausalModel {
+            cause: "c".into(),
+            predicates: vec![Predicate::gt("A", threshold)],
+            merged_from: 1,
+        };
+        let models = [make(10.0), make(5.0), make(20.0)];
+        let merged = merge_all(models.iter()).unwrap();
+        assert_eq!(merged.predicates, vec![Predicate::gt("A", 5.0)]);
+        assert_eq!(merged.merged_from, 3);
+        assert!(merge_all(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn uncommon_attributes_drop_even_when_consistent() {
+        let m1 = CausalModel {
+            cause: "c".into(),
+            predicates: vec![Predicate::gt("A", 1.0), Predicate::gt("OnlyInM1", 5.0)],
+            merged_from: 1,
+        };
+        let m2 = CausalModel {
+            cause: "c".into(),
+            predicates: vec![Predicate::gt("A", 2.0)],
+            merged_from: 1,
+        };
+        let merged = merge_models(&m1, &m2);
+        assert_eq!(merged.predicates, vec![Predicate::gt("A", 1.0)]);
+    }
+}

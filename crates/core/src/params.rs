@@ -1,0 +1,136 @@
+//! Tunable parameters of the DBSherlock algorithm.
+
+use serde::{Deserialize, Serialize};
+
+/// All knobs of the predicate-generation and diagnosis pipeline, with the
+/// paper's defaults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SherlockParams {
+    /// Number of equi-width partitions `R` for numeric attributes (§4.1).
+    ///
+    /// The paper's prose default is 1000; its own parameter study
+    /// (Appendix D) runs the evaluation at `R = 250`, which it found to
+    /// have indistinguishable confidence at a quarter of the cost, so that
+    /// is our default too.
+    pub n_partitions: usize,
+    /// Normalized difference threshold `θ` (§4.5): a numeric predicate is
+    /// kept only when `|µ_A − µ_N| > θ` on the min–max-normalized attribute.
+    /// `0.2` for single causal models (§8.3); `0.05` when models will be
+    /// merged (§8.5).
+    pub theta: f64,
+    /// Anomaly distance multiplier `δ` (§4.4): distances to Abnormal
+    /// partitions are multiplied by `δ` while filling gaps, so `δ > 1`
+    /// yields more specific predicates.
+    pub delta: f64,
+    /// Minimum tuple-level separation power (Eq. 1) a candidate predicate
+    /// must reach on the training data to be emitted. §3 states
+    /// DBSherlock's goal as "filter\[ing\] out individual attributes with low
+    /// separation power" without fixing a threshold; we make the filter
+    /// explicit. Attributes whose normal/abnormal clusters overlap
+    /// materially (SP well below 1) produce predicates that do not
+    /// transfer across anomaly instances.
+    pub min_separation_power: f64,
+    /// Bins per attribute (`γ`) for the joint histogram of the
+    /// domain-knowledge independence test (§5).
+    pub gamma: usize,
+    /// Independence-factor threshold `κ_t` (§5): attributes with
+    /// `κ >= κ_t` are considered dependent, validating the rule.
+    pub kappa_t: f64,
+    /// Minimum confidence `λ` for a causal model to be reported (§6).
+    pub lambda: f64,
+    /// Sliding-window size `τ` for the potential-power median filter (§7).
+    pub tau: usize,
+    /// Potential-power threshold `PP_t` for attribute selection (§7).
+    pub pp_t: f64,
+    /// DBSCAN `minPts` (§7 fixes it to 3).
+    pub min_pts: usize,
+    /// Maximum cluster size, as a fraction of all points, for a cluster to
+    /// be reported as anomalous (§7 uses 20%).
+    pub max_anomaly_fraction: f64,
+}
+
+impl Default for SherlockParams {
+    fn default() -> Self {
+        SherlockParams {
+            n_partitions: 250,
+            theta: 0.2,
+            delta: 10.0,
+            min_separation_power: 0.85,
+            gamma: 10,
+            kappa_t: 0.15,
+            lambda: 0.2,
+            tau: 20,
+            pp_t: 0.3,
+            min_pts: 3,
+            max_anomaly_fraction: 0.2,
+        }
+    }
+}
+
+impl SherlockParams {
+    /// The paper's configuration for building causal models that will be
+    /// merged (§8.5): a lower θ (and a laxer separation-power floor) keeps
+    /// more predicates per model so merging has material to work with —
+    /// permissive generation + the strict attribute intersection of §6.2
+    /// is what filters the unstable predicates in this regime.
+    pub fn for_merging() -> Self {
+        SherlockParams { theta: 0.05, min_separation_power: 0.5, ..SherlockParams::default() }
+    }
+
+    /// Builder-style override of `θ`.
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Builder-style override of `R`.
+    pub fn with_partitions(mut self, r: usize) -> Self {
+        self.n_partitions = r.max(1);
+        self
+    }
+
+    /// Builder-style override of `δ`.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Builder-style override of the separation-power floor.
+    pub fn with_min_separation_power(mut self, floor: f64) -> Self {
+        self.min_separation_power = floor;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = SherlockParams::default();
+        assert_eq!(p.n_partitions, 250);
+        assert_eq!(p.theta, 0.2);
+        assert_eq!(p.delta, 10.0);
+        assert_eq!(p.kappa_t, 0.15);
+        assert_eq!(p.lambda, 0.2);
+        assert_eq!(p.tau, 20);
+        assert_eq!(p.pp_t, 0.3);
+        assert_eq!(p.min_pts, 3);
+    }
+
+    #[test]
+    fn merging_profile_lowers_theta() {
+        let p = SherlockParams::for_merging();
+        assert_eq!(p.theta, 0.05);
+        assert_eq!(p.n_partitions, 250);
+    }
+
+    #[test]
+    fn builders_override() {
+        let p = SherlockParams::default().with_theta(0.4).with_partitions(0).with_delta(0.1);
+        assert_eq!(p.theta, 0.4);
+        assert_eq!(p.n_partitions, 1); // clamped to at least one partition
+        assert_eq!(p.delta, 0.1);
+    }
+}

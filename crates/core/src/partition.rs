@@ -1,0 +1,194 @@
+//! Partition spaces: discretized attribute domains (paper §4.1).
+//!
+//! For a numeric attribute, the domain `[Min, Max]` is cut into `R`
+//! equi-width partitions; partition `P_j` contains values with
+//! `lb(P_j) <= v < ub(P_j)` (the top partition also accepts `v = Max` so
+//! the maximum isn't orphaned). For a categorical attribute there is one
+//! partition per distinct value and order is irrelevant.
+
+use dbsherlock_telemetry::{AttributeKind, Dataset};
+
+/// Label of one partition (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionLabel {
+    /// No tuples, or a mix of normal and abnormal tuples (numeric), or a
+    /// tie (categorical).
+    Empty,
+    /// Exclusively/mostly normal tuples.
+    Normal,
+    /// Exclusively/mostly abnormal tuples.
+    Abnormal,
+}
+
+/// The discretized domain of one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionSpace {
+    /// Equi-width numeric partitions.
+    Numeric {
+        /// Domain minimum over the whole dataset.
+        min: f64,
+        /// Domain maximum over the whole dataset.
+        max: f64,
+        /// Number of partitions `R`.
+        r: usize,
+    },
+    /// One partition per category id.
+    Categorical {
+        /// Number of distinct categories.
+        n: usize,
+    },
+}
+
+impl PartitionSpace {
+    /// Build the partition space for `attr_id` of `dataset`.
+    ///
+    /// Returns `None` when the attribute cannot be partitioned: an empty
+    /// dataset, a numeric attribute with no finite values, or a degenerate
+    /// (constant) numeric attribute — the latter mirrors the paper's
+    /// limitation (ii): invariants cannot separate the regions.
+    pub fn build(dataset: &Dataset, attr_id: usize, r: usize) -> Option<PartitionSpace> {
+        match dataset.schema().attr(attr_id).kind {
+            AttributeKind::Numeric => {
+                let (min, max) = dataset.numeric_range(attr_id).ok()?;
+                if max <= min || !(max - min).is_finite() {
+                    return None;
+                }
+                Some(PartitionSpace::Numeric { min, max, r: r.max(1) })
+            }
+            AttributeKind::Categorical => {
+                let (_, dict) = dataset.categorical(attr_id).ok()?;
+                if dict.is_empty() {
+                    return None;
+                }
+                Some(PartitionSpace::Categorical { n: dict.len() })
+            }
+        }
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        match *self {
+            PartitionSpace::Numeric { r, .. } => r,
+            PartitionSpace::Categorical { n } => n,
+        }
+    }
+
+    /// True when there are no partitions (never for built spaces).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Width of each numeric partition.
+    pub fn width(&self) -> Option<f64> {
+        match *self {
+            PartitionSpace::Numeric { min, max, r } => Some((max - min) / r as f64),
+            PartitionSpace::Categorical { .. } => None,
+        }
+    }
+
+    /// Partition index of a numeric value; `None` for NaN/∞ or categorical
+    /// spaces. Values outside `[min, max]` clamp to the edge partitions
+    /// (they can only appear when a predicate learned elsewhere is
+    /// evaluated against this space).
+    pub fn index_of_num(&self, v: f64) -> Option<usize> {
+        match *self {
+            PartitionSpace::Numeric { min, max, r } => {
+                if !v.is_finite() {
+                    return None;
+                }
+                let idx = ((v - min) / (max - min) * r as f64).floor() as isize;
+                Some(idx.clamp(0, r as isize - 1) as usize)
+            }
+            PartitionSpace::Categorical { .. } => None,
+        }
+    }
+
+    /// Lower bound `lb(P_j)` of numeric partition `j`.
+    pub fn lower_bound(&self, j: usize) -> Option<f64> {
+        match *self {
+            PartitionSpace::Numeric { min, .. } => {
+                Some(min + self.width().expect("numeric") * j as f64)
+            }
+            PartitionSpace::Categorical { .. } => None,
+        }
+    }
+
+    /// Upper bound `ub(P_j)` of numeric partition `j`.
+    pub fn upper_bound(&self, j: usize) -> Option<f64> {
+        self.lower_bound(j + 1)
+    }
+
+    /// Midpoint of numeric partition `j` (used when testing whether a
+    /// partition "satisfies" a predicate in the confidence computation,
+    /// Eq. 3 — see `separation::partition_separation_power`).
+    pub fn midpoint(&self, j: usize) -> Option<f64> {
+        let lb = self.lower_bound(j)?;
+        Some(lb + self.width().expect("numeric") / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsherlock_telemetry::{AttributeMeta, Schema, Value};
+
+    fn dataset(values: &[f64]) -> Dataset {
+        let schema = Schema::from_attrs([AttributeMeta::numeric("x")]).unwrap();
+        let mut d = Dataset::new(schema);
+        for (i, &v) in values.iter().enumerate() {
+            d.push_row(i as f64, &[Value::Num(v)]).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn numeric_space_covers_domain() {
+        let d = dataset(&[0.0, 25.0, 100.0]);
+        let s = PartitionSpace::build(&d, 0, 5).unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.width(), Some(20.0));
+        assert_eq!(s.index_of_num(0.0), Some(0));
+        assert_eq!(s.index_of_num(19.999), Some(0));
+        assert_eq!(s.index_of_num(20.0), Some(1));
+        // Max value lands in the top partition, not out of range.
+        assert_eq!(s.index_of_num(100.0), Some(4));
+        assert_eq!(s.lower_bound(2), Some(40.0));
+        assert_eq!(s.upper_bound(2), Some(60.0));
+        assert_eq!(s.midpoint(0), Some(10.0));
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let d = dataset(&[0.0, 100.0]);
+        let s = PartitionSpace::build(&d, 0, 4).unwrap();
+        assert_eq!(s.index_of_num(-5.0), Some(0));
+        assert_eq!(s.index_of_num(500.0), Some(3));
+        assert_eq!(s.index_of_num(f64::NAN), None);
+    }
+
+    #[test]
+    fn constant_attribute_has_no_space() {
+        let d = dataset(&[7.0, 7.0, 7.0]);
+        assert!(PartitionSpace::build(&d, 0, 10).is_none());
+    }
+
+    #[test]
+    fn empty_dataset_has_no_space() {
+        let d = dataset(&[]);
+        assert!(PartitionSpace::build(&d, 0, 10).is_none());
+    }
+
+    #[test]
+    fn categorical_space_one_per_value() {
+        let schema = Schema::from_attrs([AttributeMeta::categorical("c")]).unwrap();
+        let mut d = Dataset::new(schema);
+        let a = d.intern(0, "a").unwrap();
+        let b = d.intern(0, "b").unwrap();
+        d.push_row(0.0, &[a]).unwrap();
+        d.push_row(1.0, &[b]).unwrap();
+        let s = PartitionSpace::build(&d, 0, 99).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.width(), None);
+        assert_eq!(s.index_of_num(1.0), None);
+    }
+}

@@ -1,0 +1,186 @@
+//! Separation power (paper Eq. 1) on tuples and on partition spaces.
+
+use dbsherlock_telemetry::{Dataset, Region};
+
+use crate::partition::{PartitionLabel, PartitionSpace};
+use crate::predicate::{Predicate, PredicateOp};
+
+/// Tuple-level separation power (Eq. 1):
+/// `SP(Pred) = |Pred(T_A)| / |T_A|  −  |Pred(T_N)| / |T_N|`, in `[-1, 1]`.
+pub fn separation_power(
+    predicate: &Predicate,
+    dataset: &Dataset,
+    abnormal: &Region,
+    normal: &Region,
+) -> f64 {
+    predicate.selectivity(dataset, abnormal.indices())
+        - predicate.selectivity(dataset, normal.indices())
+}
+
+/// Does partition `j` of `space` satisfy `predicate`?
+///
+/// The paper's confidence definition (Eq. 3) needs `Pred(P)` — "the set of
+/// partitions in P that satisfy predicate Pred" — without pinning down
+/// what it means for an interval partition to satisfy an interval
+/// predicate. We test the partition's *midpoint* for numeric spaces (a
+/// partition is far narrower than any predicate of interest at the default
+/// R, so midpoint vs. overlap is immaterial) and the partition's category
+/// label for categorical spaces.
+pub fn partition_satisfies(
+    predicate: &Predicate,
+    space: &PartitionSpace,
+    dataset: &Dataset,
+    attr_id: usize,
+    j: usize,
+) -> bool {
+    match space {
+        PartitionSpace::Numeric { .. } => {
+            space.midpoint(j).map(|m| predicate.op.matches_num(m)).unwrap_or(false)
+        }
+        PartitionSpace::Categorical { .. } => {
+            let Ok((_, dict)) = dataset.categorical(attr_id) else { return false };
+            dict.label(j as u32).map(|l| predicate.op.matches_label(l)).unwrap_or(false)
+        }
+    }
+}
+
+/// Partition-space separation power — one term of the causal-model
+/// confidence (Eq. 3):
+/// `|Pred(P_A)| / |P_A| − |Pred(P_N)| / |P_N|` over the *labeled*
+/// partitions of the diagnosis-time dataset. A side with no partitions
+/// contributes `0` to its ratio.
+pub fn partition_separation_power(
+    predicate: &Predicate,
+    space: &PartitionSpace,
+    labels: &[PartitionLabel],
+    dataset: &Dataset,
+    attr_id: usize,
+) -> f64 {
+    let mut abnormal_total = 0usize;
+    let mut abnormal_hits = 0usize;
+    let mut normal_total = 0usize;
+    let mut normal_hits = 0usize;
+    for (j, &label) in labels.iter().enumerate() {
+        match label {
+            PartitionLabel::Abnormal => {
+                abnormal_total += 1;
+                if partition_satisfies(predicate, space, dataset, attr_id, j) {
+                    abnormal_hits += 1;
+                }
+            }
+            PartitionLabel::Normal => {
+                normal_total += 1;
+                if partition_satisfies(predicate, space, dataset, attr_id, j) {
+                    normal_hits += 1;
+                }
+            }
+            PartitionLabel::Empty => {}
+        }
+    }
+    let ratio = |hits: usize, total: usize| {
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    };
+    ratio(abnormal_hits, abnormal_total) - ratio(normal_hits, normal_total)
+}
+
+/// Sanity helper: a predicate op directed "upwards" (`Gt`) vs "downwards"
+/// (`Lt`); `Between`/`InSet` are direction-free. Used by model merging.
+pub fn numeric_direction(op: &PredicateOp) -> Option<bool> {
+    match op {
+        PredicateOp::Gt(_) => Some(true),
+        PredicateOp::Lt(_) => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsherlock_telemetry::{AttributeMeta, Schema, Value};
+
+    fn dataset(values: &[f64]) -> Dataset {
+        let schema = Schema::from_attrs([AttributeMeta::numeric("x")]).unwrap();
+        let mut d = Dataset::new(schema);
+        for (i, &v) in values.iter().enumerate() {
+            d.push_row(i as f64, &[Value::Num(v)]).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn perfect_separator_scores_one() {
+        let d = dataset(&[1.0, 2.0, 3.0, 10.0, 11.0, 12.0]);
+        let abnormal = Region::from_range(3..6);
+        let normal = Region::from_range(0..3);
+        let p = Predicate::gt("x", 5.0);
+        assert_eq!(separation_power(&p, &d, &abnormal, &normal), 1.0);
+        // Inverted predicate scores -1.
+        let q = Predicate::lt("x", 5.0);
+        assert_eq!(separation_power(&q, &d, &abnormal, &normal), -1.0);
+    }
+
+    #[test]
+    fn non_separating_predicate_scores_zero() {
+        let d = dataset(&[1.0, 10.0, 1.0, 10.0]);
+        let abnormal = Region::from_indices([0, 1]);
+        let normal = Region::from_indices([2, 3]);
+        let p = Predicate::gt("x", 5.0);
+        assert_eq!(separation_power(&p, &d, &abnormal, &normal), 0.0);
+    }
+
+    #[test]
+    fn separation_power_bounded() {
+        let d = dataset(&[1.0, 2.0, 3.0, 4.0]);
+        let p = Predicate::gt("x", 2.5);
+        let sp = separation_power(&p, &d, &Region::from_range(0..2), &Region::from_range(2..4));
+        assert!((-1.0..=1.0).contains(&sp));
+    }
+
+    #[test]
+    fn partition_satisfaction_uses_midpoints() {
+        let space = PartitionSpace::Numeric { min: 0.0, max: 100.0, r: 10 };
+        let d = dataset(&[0.0, 100.0]);
+        let p = Predicate::gt("x", 45.0);
+        // Partition 4 covers [40,50): midpoint 45 -> not > 45.
+        assert!(!partition_satisfies(&p, &space, &d, 0, 4));
+        // Partition 5 covers [50,60): midpoint 55 -> satisfied.
+        assert!(partition_satisfies(&p, &space, &d, 0, 5));
+    }
+
+    #[test]
+    fn partition_separation_power_full_split() {
+        use crate::partition::PartitionLabel::{Abnormal as A, Empty as E, Normal as N};
+        let space = PartitionSpace::Numeric { min: 0.0, max: 100.0, r: 4 };
+        let d = dataset(&[0.0, 100.0]);
+        let labels = [N, N, E, A];
+        // Predicate matching only the top partition's midpoint (87.5).
+        let p = Predicate::gt("x", 80.0);
+        let sp = partition_separation_power(&p, &space, &labels, &d, 0);
+        assert_eq!(sp, 1.0);
+        // A predicate matching everything has zero separation power.
+        let all = Predicate::gt("x", -1.0);
+        assert_eq!(partition_separation_power(&all, &space, &labels, &d, 0), 0.0);
+    }
+
+    #[test]
+    fn missing_sides_contribute_zero() {
+        use crate::partition::PartitionLabel::{Abnormal as A, Empty as E};
+        let space = PartitionSpace::Numeric { min: 0.0, max: 100.0, r: 2 };
+        let d = dataset(&[0.0, 100.0]);
+        let labels = [E, A];
+        let p = Predicate::gt("x", 50.0);
+        assert_eq!(partition_separation_power(&p, &space, &labels, &d, 0), 1.0);
+    }
+
+    #[test]
+    fn directions() {
+        assert_eq!(numeric_direction(&PredicateOp::Gt(1.0)), Some(true));
+        assert_eq!(numeric_direction(&PredicateOp::Lt(1.0)), Some(false));
+        assert_eq!(numeric_direction(&PredicateOp::Between(0.0, 1.0)), None);
+        assert_eq!(numeric_direction(&PredicateOp::InSet(vec![])), None);
+    }
+}

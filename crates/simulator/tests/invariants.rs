@@ -1,0 +1,108 @@
+//! Simulator invariants: physical sanity of the emitted telemetry across
+//! every anomaly class and both workloads (conservation-style checks the
+//! closed-loop model must never violate).
+
+use dbsherlock_simulator::{
+    metrics_schema, AnomalyKind, Benchmark, Injection, NoiseModel, Scenario, WorkloadConfig,
+};
+use proptest::prelude::*;
+
+fn scenario_for(kind: AnomalyKind, benchmark: Benchmark, seed: u64) -> Scenario {
+    let workload = match benchmark {
+        Benchmark::TpccLike => WorkloadConfig::tpcc_default(),
+        Benchmark::TpceLike => WorkloadConfig::tpce_default(),
+    };
+    Scenario::new(workload, 150, seed).with_injection(Injection::new(kind, 60, 40))
+}
+
+#[test]
+fn metrics_stay_physical_for_every_anomaly_class() {
+    for (i, kind) in AnomalyKind::ALL.into_iter().enumerate() {
+        for benchmark in [Benchmark::TpccLike, Benchmark::TpceLike] {
+            let labeled =
+                scenario_for(kind, benchmark, 9000 + i as u64).run_with_noise(NoiseModel::none());
+            let d = &labeled.data;
+            let get = |name: &str| d.numeric_by_name(name).unwrap();
+            for row in 0..d.n_rows() {
+                let ctx = format!("{kind:?}/{benchmark:?} row {row}");
+                // Percentages bounded.
+                for pct_attr in
+                    ["os_cpu_usage", "os_cpu_idle", "os_cpu_iowait", "os_disk_util", "dbms_cpu_usage", "dbms_buffer_hit_ratio"]
+                {
+                    let v = get(pct_attr)[row];
+                    assert!((0.0..=100.0).contains(&v), "{ctx}: {pct_attr} = {v}");
+                }
+                // CPU accounting sums to ~100%.
+                let total = get("os_cpu_usage")[row]
+                    + get("os_cpu_idle")[row]
+                    + get("os_cpu_iowait")[row];
+                assert!(
+                    (85.0..=115.0).contains(&total),
+                    "{ctx}: cpu usage+idle+iowait = {total}"
+                );
+                // The DBMS cannot use more CPU than the machine.
+                assert!(
+                    get("dbms_cpu_usage")[row] <= get("os_cpu_usage")[row] + 5.0,
+                    "{ctx}: dbms cpu exceeds os cpu"
+                );
+                // Throughput and latency are positive and finite.
+                for attr in ["txn_throughput", "txn_avg_latency_ms"] {
+                    let v = get(attr)[row];
+                    assert!(v.is_finite() && v > 0.0, "{ctx}: {attr} = {v}");
+                }
+                // p99 dominates the average latency.
+                assert!(
+                    get("txn_p99_latency_ms")[row] >= get("txn_avg_latency_ms")[row],
+                    "{ctx}: p99 below average"
+                );
+                // Little's law, loosely: threads ≈ tps × latency.
+                let threads = get("dbms_threads_running")[row];
+                let implied =
+                    get("txn_throughput")[row] * get("txn_avg_latency_ms")[row] / 1000.0;
+                assert!(
+                    threads <= implied * 3.0 + 10.0,
+                    "{ctx}: threads {threads} vs Little's-law {implied}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn schema_is_stable_across_runs() {
+    let a = scenario_for(AnomalyKind::DatabaseBackup, Benchmark::TpccLike, 1).run();
+    let b = scenario_for(AnomalyKind::LockContention, Benchmark::TpceLike, 2).run();
+    assert!(a.data.schema().same_layout(b.data.schema()));
+    assert!(a.data.schema().same_layout(&metrics_schema()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any combination of injections still produces a full, physical
+    /// dataset (failure-injection fuzzing of the engine).
+    #[test]
+    fn random_compound_scenarios_stay_sane(
+        picks in proptest::collection::vec((0usize..10, 20usize..100, 10usize..60, 0.3_f64..2.0), 1..4),
+        seed in 0u64..10_000,
+    ) {
+        let mut scenario = Scenario::new(WorkloadConfig::tpcc_default(), 160, seed);
+        for (kind_idx, start, duration, intensity) in picks {
+            let mut injection =
+                Injection::new(AnomalyKind::ALL[kind_idx], start, duration);
+            injection.intensity = intensity;
+            scenario = scenario.with_injection(injection);
+        }
+        let labeled = scenario.run();
+        prop_assert_eq!(labeled.data.n_rows(), 160);
+        let latency = labeled.data.numeric_by_name("txn_avg_latency_ms").unwrap();
+        let tps = labeled.data.numeric_by_name("txn_throughput").unwrap();
+        for row in 0..160 {
+            prop_assert!(latency[row].is_finite() && latency[row] > 0.0);
+            prop_assert!(tps[row].is_finite() && tps[row] >= 0.0);
+            // Closed network: can never serve more than terminal count per
+            // think-time cycle allows at zero latency.
+            prop_assert!(tps[row] < 10_000.0, "tps blew up: {}", tps[row]);
+        }
+    }
+}

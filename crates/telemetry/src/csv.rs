@@ -1,0 +1,242 @@
+//! dbseer-style CSV round-trip for [`Dataset`]s.
+//!
+//! The on-disk layout mirrors what DBSeer hands to DBSherlock (paper §2.1):
+//! one row per one-second interval, a leading `timestamp` column, then one
+//! column per attribute. Headers carry the attribute kind as a suffix so a
+//! file round-trips without a sidecar schema:
+//!
+//! ```text
+//! timestamp,os_cpu_usage:num,active_external_job:cat
+//! 0,12.5,idle
+//! 1,13.1,backup
+//! ```
+//!
+//! Fields containing commas, quotes, or newlines are quoted RFC-4180 style.
+
+use std::fmt::Write as _;
+
+use crate::attribute::{AttributeKind, AttributeMeta, Schema};
+use crate::dataset::Dataset;
+use crate::error::{Result, TelemetryError};
+use crate::value::Value;
+
+/// Serialize a dataset to CSV text.
+pub fn to_csv(dataset: &Dataset) -> String {
+    let mut out = String::new();
+    out.push_str("timestamp");
+    for (_, attr) in dataset.schema().iter() {
+        out.push(',');
+        write_field(&mut out, &format!("{}:{}", attr.name, attr.kind.tag()));
+    }
+    out.push('\n');
+    for row in 0..dataset.n_rows() {
+        let _ = write!(out, "{}", fmt_num(dataset.timestamps()[row]));
+        for (attr_id, attr) in dataset.schema().iter() {
+            out.push(',');
+            match dataset.value(row, attr_id) {
+                Value::Num(v) => {
+                    let _ = write!(out, "{}", fmt_num(v));
+                }
+                Value::Cat(c) => {
+                    let (_, dict) = dataset
+                        .categorical(attr_id)
+                        .expect("schema says categorical");
+                    write_field(&mut out, dict.label(c).unwrap_or("<unknown>"));
+                    let _ = &attr;
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse CSV text produced by [`to_csv`] back into a dataset.
+pub fn from_csv(text: &str) -> Result<Dataset> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or(TelemetryError::Parse { line: 1, message: "empty input".into() })?;
+    let fields = split_line(header, 1)?;
+    if fields.first().map(String::as_str) != Some("timestamp") {
+        return Err(TelemetryError::Parse {
+            line: 1,
+            message: "first column must be `timestamp`".into(),
+        });
+    }
+    let mut schema = Schema::new();
+    for field in &fields[1..] {
+        let (name, tag) = field.rsplit_once(':').ok_or_else(|| TelemetryError::Parse {
+            line: 1,
+            message: format!("header field {field:?} missing `:num`/`:cat` tag"),
+        })?;
+        let kind = AttributeKind::from_tag(tag).ok_or_else(|| TelemetryError::Parse {
+            line: 1,
+            message: format!("unknown kind tag {tag:?}"),
+        })?;
+        schema.push(AttributeMeta { name: name.to_string(), kind })?;
+    }
+    let mut dataset = Dataset::new(schema);
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_line(line, line_no)?;
+        if fields.len() != dataset.schema().len() + 1 {
+            return Err(TelemetryError::ArityMismatch {
+                expected: dataset.schema().len() + 1,
+                found: fields.len(),
+            });
+        }
+        let timestamp = parse_num(&fields[0], line_no)?;
+        let mut values = Vec::with_capacity(dataset.schema().len());
+        for (attr_id, field) in fields[1..].iter().enumerate() {
+            let value = match dataset.schema().attr(attr_id).kind {
+                AttributeKind::Numeric => Value::Num(parse_num(field, line_no)?),
+                AttributeKind::Categorical => dataset.intern(attr_id, field)?,
+            };
+            values.push(value);
+        }
+        dataset.push_row(timestamp, &values)?;
+    }
+    Ok(dataset)
+}
+
+/// Format a float compactly: integers lose the trailing `.0`.
+fn fmt_num(v: f64) -> String {
+    if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn parse_num(field: &str, line: usize) -> Result<f64> {
+    field.trim().parse::<f64>().map_err(|_| TelemetryError::Parse {
+        line,
+        message: format!("invalid number {field:?}"),
+    })
+}
+
+fn write_field(out: &mut String, field: &str) {
+    if field.contains([',', '"', '\n', '\r']) {
+        out.push('"');
+        for ch in field.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Split one CSV line into unescaped fields.
+fn split_line(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        match (in_quotes, ch) {
+            (false, ',') => fields.push(std::mem::take(&mut current)),
+            (false, '"') if current.is_empty() => in_quotes = true,
+            (false, c) => current.push(c),
+            (true, '"') => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    current.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            (true, c) => current.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(TelemetryError::Parse {
+            line: line_no,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(current);
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::AttributeMeta;
+
+    fn sample() -> Dataset {
+        let schema = Schema::from_attrs([
+            AttributeMeta::numeric("cpu"),
+            AttributeMeta::categorical("job"),
+        ])
+        .unwrap();
+        let mut d = Dataset::new(schema);
+        let idle = d.intern(1, "idle").unwrap();
+        let weird = d.intern(1, "a,\"b\"").unwrap();
+        d.push_row(0.0, &[Value::Num(12.5), idle]).unwrap();
+        d.push_row(1.0, &[Value::Num(-3.0), weird]).unwrap();
+        d
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let d = sample();
+        let text = to_csv(&d);
+        let back = from_csv(&text).unwrap();
+        assert!(back.schema().same_layout(d.schema()));
+        assert_eq!(back.n_rows(), 2);
+        assert_eq!(back.numeric(0).unwrap(), d.numeric(0).unwrap());
+        assert_eq!(back.timestamps(), d.timestamps());
+        let (ids, dict) = back.categorical(1).unwrap();
+        assert_eq!(dict.label(ids[1]).unwrap(), "a,\"b\"");
+    }
+
+    #[test]
+    fn integers_serialize_without_decimal_point() {
+        let text = to_csv(&sample());
+        let first_data_line = text.lines().nth(1).unwrap();
+        assert!(first_data_line.starts_with("0,12.5,"));
+    }
+
+    #[test]
+    fn rejects_missing_timestamp_header() {
+        assert!(from_csv("cpu:num\n1.0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_kind_tag() {
+        assert!(from_csv("timestamp,cpu:wat\n0,1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_number() {
+        let err = from_csv("timestamp,cpu:num\n0,hello\n").unwrap_err();
+        assert!(err.to_string().contains("hello"));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        assert!(matches!(
+            from_csv("timestamp,cpu:num\n0,1,2\n"),
+            Err(TelemetryError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let d = from_csv("timestamp,cpu:num\n0,1\n\n1,2\n").unwrap();
+        assert_eq!(d.n_rows(), 2);
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        assert!(from_csv("timestamp,job:cat\n0,\"oops\n").is_err());
+    }
+}

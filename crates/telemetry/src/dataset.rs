@@ -1,0 +1,346 @@
+//! Column-major storage of aligned telemetry tuples.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attribute::{AttributeKind, AttributeMeta, Schema};
+use crate::error::{Result, TelemetryError};
+use crate::region::Region;
+use crate::value::{Dictionary, Value};
+
+/// One column of observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    /// Numeric measurements, one per row.
+    Numeric(Vec<f64>),
+    /// Categorical ids, one per row, plus the column's dictionary.
+    Categorical {
+        /// Dictionary id of each row's value.
+        ids: Vec<u32>,
+        /// The column's label dictionary.
+        dict: Dictionary,
+    },
+}
+
+impl Column {
+    /// Number of stored values (equals the dataset's row count).
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.len(),
+            Column::Categorical { ids, .. } => ids.len(),
+        }
+    }
+
+    /// True when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&mut self, value: Value, attr: &AttributeMeta) -> Result<()> {
+        match (self, value) {
+            (Column::Numeric(v), Value::Num(x)) => {
+                v.push(x);
+                Ok(())
+            }
+            (Column::Categorical { ids, .. }, Value::Cat(c)) => {
+                ids.push(c);
+                Ok(())
+            }
+            (Column::Numeric(_), Value::Cat(_)) => Err(TelemetryError::KindMismatch {
+                attribute: attr.name.clone(),
+                expected: "numeric",
+            }),
+            (Column::Categorical { .. }, Value::Num(_)) => Err(TelemetryError::KindMismatch {
+                attribute: attr.name.clone(),
+                expected: "categorical",
+            }),
+        }
+    }
+}
+
+/// A set of aligned tuples `(Timestamp, Attr1, ..., Attrk)` (paper §2.1).
+///
+/// Rows correspond to fixed one-second collection intervals; `timestamps[i]`
+/// marks the start of interval `i`. Storage is column-major because the
+/// predicate-generation algorithm (paper §4) scans one attribute at a time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    schema: Schema,
+    timestamps: Vec<f64>,
+    columns: Vec<Column>,
+}
+
+impl Dataset {
+    /// Empty dataset over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let columns = schema
+            .iter()
+            .map(|(_, a)| match a.kind {
+                AttributeKind::Numeric => Column::Numeric(Vec::new()),
+                AttributeKind::Categorical => {
+                    Column::Categorical { ids: Vec::new(), dict: Dictionary::new() }
+                }
+            })
+            .collect();
+        Dataset { schema, timestamps: Vec::new(), columns }
+    }
+
+    /// The attribute schema (timestamp excluded).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows (`X` in the paper's complexity analysis, §4.6).
+    pub fn n_rows(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// True when no rows have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// Per-row interval start times, in seconds.
+    pub fn timestamps(&self) -> &[f64] {
+        &self.timestamps
+    }
+
+    /// Append one aligned tuple. `values` must match the schema in arity and
+    /// per-attribute kind.
+    pub fn push_row(&mut self, timestamp: f64, values: &[Value]) -> Result<()> {
+        if values.len() != self.schema.len() {
+            return Err(TelemetryError::ArityMismatch {
+                expected: self.schema.len(),
+                found: values.len(),
+            });
+        }
+        for (id, &value) in values.iter().enumerate() {
+            let attr = self.schema.attr(id).clone();
+            self.columns[id].push(value, &attr)?;
+        }
+        self.timestamps.push(timestamp);
+        Ok(())
+    }
+
+    /// Intern `label` in the dictionary of categorical attribute `attr_id`,
+    /// returning a [`Value::Cat`] suitable for [`push_row`](Self::push_row).
+    pub fn intern(&mut self, attr_id: usize, label: &str) -> Result<Value> {
+        match &mut self.columns[attr_id] {
+            Column::Categorical { dict, .. } => Ok(Value::Cat(dict.intern(label))),
+            Column::Numeric(_) => Err(TelemetryError::KindMismatch {
+                attribute: self.schema.attr(attr_id).name.clone(),
+                expected: "categorical",
+            }),
+        }
+    }
+
+    /// Numeric column as a slice.
+    pub fn numeric(&self, attr_id: usize) -> Result<&[f64]> {
+        match &self.columns[attr_id] {
+            Column::Numeric(v) => Ok(v),
+            Column::Categorical { .. } => Err(TelemetryError::KindMismatch {
+                attribute: self.schema.attr(attr_id).name.clone(),
+                expected: "numeric",
+            }),
+        }
+    }
+
+    /// Categorical column as `(ids, dictionary)`.
+    pub fn categorical(&self, attr_id: usize) -> Result<(&[u32], &Dictionary)> {
+        match &self.columns[attr_id] {
+            Column::Categorical { ids, dict } => Ok((ids, dict)),
+            Column::Numeric(_) => Err(TelemetryError::KindMismatch {
+                attribute: self.schema.attr(attr_id).name.clone(),
+                expected: "categorical",
+            }),
+        }
+    }
+
+    /// Single scalar at `(row, attr_id)`.
+    pub fn value(&self, row: usize, attr_id: usize) -> Value {
+        match &self.columns[attr_id] {
+            Column::Numeric(v) => Value::Num(v[row]),
+            Column::Categorical { ids, .. } => Value::Cat(ids[row]),
+        }
+    }
+
+    /// Mutable access to a numeric column (used by noise injection).
+    pub fn numeric_mut(&mut self, attr_id: usize) -> Result<&mut [f64]> {
+        match &mut self.columns[attr_id] {
+            Column::Numeric(v) => Ok(v),
+            Column::Categorical { .. } => Err(TelemetryError::KindMismatch {
+                attribute: self.schema.attr(attr_id).name.clone(),
+                expected: "numeric",
+            }),
+        }
+    }
+
+    /// Convenience: numeric column by name.
+    pub fn numeric_by_name(&self, name: &str) -> Result<&[f64]> {
+        self.numeric(self.schema.require(name)?)
+    }
+
+    /// `(min, max)` of a numeric attribute over **all** rows, ignoring NaNs.
+    ///
+    /// Returns an error on empty datasets; the partition space of an
+    /// attribute (paper §4.1) spans exactly this range.
+    pub fn numeric_range(&self, attr_id: usize) -> Result<(f64, f64)> {
+        let col = self.numeric(attr_id)?;
+        let mut it = col.iter().copied().filter(|v| v.is_finite());
+        let first = it.next().ok_or(TelemetryError::Empty("numeric column"))?;
+        let (mut lo, mut hi) = (first, first);
+        for v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Ok((lo, hi))
+    }
+
+    /// New dataset containing only the rows in `region`, in order.
+    pub fn select(&self, region: &Region) -> Result<Dataset> {
+        if let Some(&max) = region.indices().last() {
+            if max >= self.n_rows() {
+                return Err(TelemetryError::RowOutOfBounds { index: max, len: self.n_rows() });
+            }
+        }
+        let mut out = Dataset::new(self.schema.clone());
+        // Preserve dictionaries verbatim so category ids stay comparable
+        // across selections of the same dataset.
+        for (id, col) in self.columns.iter().enumerate() {
+            if let Column::Categorical { dict, .. } = col {
+                if let Column::Categorical { dict: d, .. } = &mut out.columns[id] {
+                    *d = dict.clone();
+                }
+            }
+        }
+        for &row in region.indices() {
+            let values: Vec<Value> =
+                (0..self.schema.len()).map(|a| self.value(row, a)).collect();
+            out.push_row(self.timestamps[row], &values)?;
+        }
+        Ok(out)
+    }
+
+    /// Append all rows of `other`; schemas must have identical layout.
+    ///
+    /// Categorical values are re-interned by label so the two datasets need
+    /// not share dictionary id assignments.
+    pub fn extend_from(&mut self, other: &Dataset) -> Result<()> {
+        if !self.schema.same_layout(&other.schema) {
+            return Err(TelemetryError::SchemaMismatch(
+                "extend_from requires identical attribute layout".into(),
+            ));
+        }
+        for row in 0..other.n_rows() {
+            let mut values = Vec::with_capacity(self.schema.len());
+            for attr_id in 0..self.schema.len() {
+                let v = match other.value(row, attr_id) {
+                    Value::Num(x) => Value::Num(x),
+                    Value::Cat(c) => {
+                        let (_, dict) = other.categorical(attr_id)?;
+                        let label = dict.label(c).unwrap_or("<unknown>").to_string();
+                        self.intern(attr_id, &label)?
+                    }
+                };
+                values.push(v);
+            }
+            self.push_row(other.timestamps[row], &values)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::from_attrs([
+            AttributeMeta::numeric("cpu"),
+            AttributeMeta::categorical("job"),
+        ])
+        .unwrap()
+    }
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new(schema());
+        let idle = d.intern(1, "idle").unwrap();
+        let busy = d.intern(1, "busy").unwrap();
+        d.push_row(0.0, &[Value::Num(10.0), idle]).unwrap();
+        d.push_row(1.0, &[Value::Num(20.0), busy]).unwrap();
+        d.push_row(2.0, &[Value::Num(30.0), idle]).unwrap();
+        d
+    }
+
+    #[test]
+    fn push_and_access() {
+        let d = sample();
+        assert_eq!(d.n_rows(), 3);
+        assert_eq!(d.numeric(0).unwrap(), &[10.0, 20.0, 30.0]);
+        let (ids, dict) = d.categorical(1).unwrap();
+        assert_eq!(ids, &[0, 1, 0]);
+        assert_eq!(dict.label(1), Some("busy"));
+        assert_eq!(d.value(1, 0), Value::Num(20.0));
+        assert_eq!(d.value(1, 1), Value::Cat(1));
+        assert_eq!(d.timestamps(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn arity_and_kind_checks() {
+        let mut d = Dataset::new(schema());
+        assert!(matches!(
+            d.push_row(0.0, &[Value::Num(1.0)]),
+            Err(TelemetryError::ArityMismatch { expected: 2, found: 1 })
+        ));
+        assert!(d.push_row(0.0, &[Value::Cat(0), Value::Cat(0)]).is_err());
+        assert!(d.numeric(1).is_err());
+        assert!(d.categorical(0).is_err());
+        assert!(d.intern(0, "x").is_err());
+    }
+
+    #[test]
+    fn numeric_range_ignores_nan() {
+        let mut d = Dataset::new(Schema::from_attrs([AttributeMeta::numeric("x")]).unwrap());
+        for v in [f64::NAN, 5.0, -1.0, 3.0] {
+            d.push_row(0.0, &[Value::Num(v)]).unwrap();
+        }
+        assert_eq!(d.numeric_range(0).unwrap(), (-1.0, 5.0));
+    }
+
+    #[test]
+    fn numeric_range_empty_errors() {
+        let d = Dataset::new(Schema::from_attrs([AttributeMeta::numeric("x")]).unwrap());
+        assert!(d.numeric_range(0).is_err());
+    }
+
+    #[test]
+    fn select_keeps_dictionary() {
+        let d = sample();
+        let r = Region::from_indices([1, 2]);
+        let s = d.select(&r).unwrap();
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.numeric(0).unwrap(), &[20.0, 30.0]);
+        let (ids, dict) = s.categorical(1).unwrap();
+        assert_eq!(ids, &[1, 0]);
+        assert_eq!(dict.label(1), Some("busy"));
+        assert_eq!(s.timestamps(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn select_out_of_bounds() {
+        let d = sample();
+        assert!(d.select(&Region::from_indices([5])).is_err());
+    }
+
+    #[test]
+    fn extend_from_reinterns_labels() {
+        let mut a = sample();
+        let mut b = Dataset::new(schema());
+        // In `b`, "backup" gets id 0 — must map to a fresh id in `a`.
+        let backup = b.intern(1, "backup").unwrap();
+        b.push_row(9.0, &[Value::Num(1.0), backup]).unwrap();
+        a.extend_from(&b).unwrap();
+        assert_eq!(a.n_rows(), 4);
+        let (ids, dict) = a.categorical(1).unwrap();
+        assert_eq!(dict.label(ids[3]).unwrap(), "backup");
+    }
+}

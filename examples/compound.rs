@@ -1,0 +1,59 @@
+//! Compound situations (paper §8.7): several anomalies at once.
+//!
+//! ```text
+//! cargo run --release --example compound
+//! ```
+
+use dbsherlock::core::CausalModel;
+use dbsherlock::prelude::*;
+use dbsherlock::simulator::{compound_cases, compound_dataset, generate_corpus};
+
+fn main() {
+    let params = SherlockParams::for_merging();
+    // Build one merged model per class from a small training corpus.
+    println!("building causal models from the training corpus...");
+    let corpus = generate_corpus(Benchmark::TpccLike, 2026);
+    let mut sherlock = Sherlock::new(params.clone());
+    for kind in AnomalyKind::ALL {
+        let models: Vec<CausalModel> = corpus
+            .iter()
+            .filter(|e| e.kind == kind)
+            .take(5)
+            .map(|e| {
+                let predicates = dbsherlock::core::generate_predicates(
+                    &e.labeled.data,
+                    &e.labeled.abnormal_region(),
+                    &e.labeled.normal_region(),
+                    &params,
+                );
+                CausalModel::from_feedback(kind.name(), &predicates)
+            })
+            .collect();
+        for model in models {
+            sherlock.repository_mut().add(model); // same cause -> merged
+        }
+    }
+
+    // Diagnose each compound scenario and show the top-3 causes.
+    for (i, (name, kinds)) in compound_cases().into_iter().enumerate() {
+        let labeled = compound_dataset(Benchmark::TpccLike, &kinds, 3000 + i as u64);
+        let explanation =
+            sherlock.explain(&labeled.data, &labeled.abnormal_region(), None);
+        let expected: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        println!("\n{name}");
+        println!("  expected: {expected:?}");
+        for (rank, cause) in explanation.all_causes.iter().take(3).enumerate() {
+            let marker = if expected.contains(&cause.cause.as_str()) { "✓" } else { " " };
+            println!(
+                "  {} #{} {:24} confidence {:.0}%",
+                marker,
+                rank + 1,
+                cause.cause,
+                cause.confidence * 100.0
+            );
+        }
+    }
+    println!(
+        "\nThe paper (§8.7): top-3 causes contain more than two-thirds of the truth on\naverage; one anomaly can mask another (e.g. congestion throttles a spike)."
+    );
+}

@@ -1,0 +1,59 @@
+//! Model merging (paper §6.2): how combining diagnoses of the same cause
+//! produces smaller, more transferable causal models.
+//!
+//! ```text
+//! cargo run --release --example merged_models
+//! ```
+
+use dbsherlock::core::{generate_predicates, merge_all, CausalModel};
+use dbsherlock::prelude::*;
+
+fn main() {
+    // Five independent Lock Contention incidents with varying severity.
+    let params = SherlockParams::for_merging(); // θ = 0.05 (§8.5)
+    let mut models: Vec<CausalModel> = Vec::new();
+    for i in 0..5u64 {
+        let mut injection = Injection::new(AnomalyKind::LockContention, 50, 40 + 5 * i as usize);
+        injection.intensity = 0.7 + 0.15 * i as f64;
+        let labeled =
+            Scenario::new(WorkloadConfig::tpcc_default(), 170, 40 + i).with_injection(injection).run();
+        let predicates = generate_predicates(
+            &labeled.data,
+            &labeled.abnormal_region(),
+            &labeled.normal_region(),
+            &params,
+        );
+        let model = CausalModel::from_feedback("Lock Contention", &predicates);
+        println!("incident {}: {} predicates", i + 1, model.predicates.len());
+        models.push(model);
+    }
+
+    let merged = merge_all(models.iter()).expect("five models");
+    println!(
+        "\nmerged model: {} predicates (from {} incidents):",
+        merged.predicates.len(),
+        merged.merged_from
+    );
+    for predicate in &merged.predicates {
+        println!("  {predicate}");
+    }
+
+    // Evaluate transfer: single vs merged on an unseen, stronger incident.
+    let mut test_injection = Injection::new(AnomalyKind::LockContention, 60, 45);
+    test_injection.intensity = 1.25;
+    let test = Scenario::new(WorkloadConfig::tpcc_default(), 170, 999)
+        .with_injection(test_injection)
+        .run();
+    let truth = test.abnormal_region();
+    let single_f1 = models[0].f1(&test.data, &truth).f1;
+    let merged_f1 = merged.f1(&test.data, &truth).f1;
+    let single_conf =
+        models[0].confidence(&test.data, &truth, &test.normal_region(), &params);
+    let merged_conf = merged.confidence(&test.data, &truth, &test.normal_region(), &params);
+    println!("\non an unseen incident:");
+    println!("  single model: F1 = {single_f1:.2}, confidence = {single_conf:.2}");
+    println!("  merged model: F1 = {merged_f1:.2}, confidence = {merged_conf:.2}");
+    println!(
+        "\nMerging keeps only predicates common to all incidents and widens their\nboundaries, so the merged model generalizes better (paper §8.5: ~30% more\naccurate than single-dataset models)."
+    );
+}

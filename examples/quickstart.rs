@@ -1,0 +1,70 @@
+//! Quickstart: simulate a database, mark an anomaly, get an explanation.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dbsherlock::prelude::*;
+
+fn main() {
+    // 1. Simulate a TPC-C-like server for 160 seconds with an I/O hog
+    //    (stress-ng style) active during seconds 60..110.
+    let labeled = Scenario::new(WorkloadConfig::tpcc_default(), 160, 7)
+        .with_injection(Injection::new(AnomalyKind::IoSaturation, 60, 50))
+        .run();
+    let latency = labeled.data.numeric_by_name("txn_avg_latency_ms").unwrap();
+    println!("simulated {} seconds of telemetry ({} attributes)", labeled.data.n_rows(), labeled.data.schema().len());
+    println!(
+        "average latency: normal ≈ {:.1} ms, during the anomaly ≈ {:.1} ms\n",
+        mean(latency, labeled.normal_region().indices()),
+        mean(latency, labeled.abnormal_region().indices()),
+    );
+    // The headless version of DBSherlock's performance plot (Fig. 2 step 3).
+    let plot = dbsherlock::telemetry::render_plot(
+        &labeled.data,
+        "txn_avg_latency_ms",
+        Some(&labeled.abnormal_region()),
+        &dbsherlock::telemetry::PlotOptions::default(),
+    )
+    .unwrap();
+    println!("{plot}");
+
+    // 2. The DBA saw the latency plateau and selects it as abnormal.
+    let abnormal = Region::from_range(60..110);
+    let mut sherlock = Sherlock::new(SherlockParams::default());
+    let explanation = sherlock.explain(&labeled.data, &abnormal, None);
+
+    println!("DBSherlock's explanation ({} predicates):", explanation.predicates.len());
+    for generated in &explanation.predicates {
+        println!(
+            "  {:<45} separation power {:.2}",
+            generated.predicate.to_string(),
+            generated.separation_power
+        );
+    }
+
+    // 3. The DBA diagnoses the real cause from these clues and teaches it
+    //    back to DBSherlock.
+    sherlock.feedback("External I/O saturation", &explanation.predicates);
+
+    // 4. Next time the same problem appears, DBSherlock names it directly.
+    let next = Scenario::new(WorkloadConfig::tpcc_default(), 160, 99)
+        .with_injection(Injection::new(AnomalyKind::IoSaturation, 40, 60))
+        .run();
+    let answer = sherlock.explain(&next.data, &Region::from_range(40..100), None);
+    match answer.top_cause() {
+        Some(cause) => println!(
+            "\nNew incident diagnosed as: {} (confidence {:.0}%)",
+            cause.cause,
+            cause.confidence * 100.0
+        ),
+        None => println!("\nNo stored cause was confident enough."),
+    }
+}
+
+fn mean(values: &[f64], rows: &[usize]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|&r| values[r]).sum::<f64>() / rows.len() as f64
+}

@@ -1,0 +1,241 @@
+//! `dbsherlock-cli` — command-line front end for the DBSherlock library.
+//!
+//! The workflow of the paper's Fig. 2, driven from a shell: simulate or
+//! import telemetry CSVs, plot metrics, explain user-selected anomaly
+//! regions, detect regions automatically, and maintain a persistent causal
+//! model repository across sessions.
+//!
+//! ```text
+//! dbsherlock-cli simulate --kind "I/O Saturation" --out incident.csv
+//! dbsherlock-cli plot incident.csv txn_avg_latency_ms --region 60..110
+//! dbsherlock-cli explain incident.csv --abnormal 60..110 --models repo.json
+//! dbsherlock-cli feedback incident.csv --abnormal 60..110 \
+//!     --cause "external I/O hog" --models repo.json
+//! dbsherlock-cli detect incident.csv
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use dbsherlock::core::{ModelRepository, Sherlock, SherlockParams};
+use dbsherlock::prelude::*;
+use dbsherlock::telemetry::{from_csv, render_plot, to_csv, PlotOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: dbsherlock-cli <command> [options]
+
+commands:
+  simulate --kind <anomaly> --out <csv> [--duration N] [--start N] [--len N] [--seed N]
+           generate a labeled incident with the built-in OLTP simulator
+           (anomaly names as in Table 1, e.g. \"CPU Saturation\")
+  plot <csv> <attribute> [--region A..B]
+           render an ASCII plot of one metric, optionally highlighting a region
+  explain <csv> --abnormal A..B [--normal C..D] [--models <json>] [--theta X]
+           generate predicates (and ranked causes, when models are loaded)
+  feedback <csv> --abnormal A..B --cause <name> --models <json> [--theta X]
+           confirm a diagnosis: store/merge the causal model into the repository
+  detect <csv>
+           propose an abnormal region automatically (potential power + DBSCAN)
+  anomalies
+           list the ten built-in anomaly classes";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut iter = args.iter();
+    let command = iter.next().ok_or("missing command")?;
+    let rest: Vec<&String> = iter.collect();
+    match command.as_str() {
+        "simulate" => simulate(&rest),
+        "plot" => plot(&rest),
+        "explain" => explain(&rest),
+        "feedback" => feedback(&rest),
+        "detect" => detect(&rest),
+        "anomalies" => {
+            for kind in AnomalyKind::ALL {
+                println!("{:24} {}", kind.name(), kind.description());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Pull `--name value` out of an option list.
+fn option<'a>(args: &'a [&String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a.as_str() == name).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+}
+
+/// Parse `A..B` into a region.
+fn parse_region(spec: &str, n_rows: usize) -> Result<Region, String> {
+    let (a, b) = spec.split_once("..").ok_or_else(|| format!("bad region {spec:?}; expected A..B"))?;
+    let a: usize = a.trim().parse().map_err(|_| format!("bad region start {a:?}"))?;
+    let b: usize = b.trim().parse().map_err(|_| format!("bad region end {b:?}"))?;
+    if a >= b {
+        return Err(format!("empty region {spec:?}"));
+    }
+    Ok(Region::from_range(a..b.min(n_rows)))
+}
+
+fn load_dataset(path: &str) -> Result<Dataset, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    from_csv(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn load_repository(path: &str) -> Result<ModelRepository, String> {
+    if !Path::new(path).exists() {
+        return Ok(ModelRepository::new());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse model repository {path}: {e}"))
+}
+
+fn save_repository(path: &str, repo: &ModelRepository) -> Result<(), String> {
+    let text = serde_json::to_string_pretty(repo).map_err(|e| e.to_string())?;
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn params_from(args: &[&String]) -> Result<SherlockParams, String> {
+    let mut params = SherlockParams::default();
+    if let Some(theta) = option(args, "--theta") {
+        params.theta = theta.parse().map_err(|_| format!("bad --theta {theta:?}"))?;
+    }
+    Ok(params)
+}
+
+fn simulate(args: &[&String]) -> Result<(), String> {
+    let kind_name = option(args, "--kind").ok_or("simulate requires --kind")?;
+    let out = option(args, "--out").ok_or("simulate requires --out")?;
+    let kind = AnomalyKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(kind_name))
+        .ok_or_else(|| format!("unknown anomaly {kind_name:?}; see `dbsherlock-cli anomalies`"))?;
+    let duration: usize =
+        option(args, "--duration").map_or(Ok(170), str::parse).map_err(|_| "bad --duration")?;
+    let start: usize =
+        option(args, "--start").map_or(Ok(60), str::parse).map_err(|_| "bad --start")?;
+    let len: usize = option(args, "--len").map_or(Ok(50), str::parse).map_err(|_| "bad --len")?;
+    let seed: u64 = option(args, "--seed").map_or(Ok(42), str::parse).map_err(|_| "bad --seed")?;
+
+    let labeled = Scenario::new(WorkloadConfig::tpcc_default(), duration, seed)
+        .with_injection(Injection::new(kind, start, len))
+        .run();
+    std::fs::write(out, to_csv(&labeled.data)).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} seconds x {} attributes; injected {} over rows {:?}",
+        labeled.data.n_rows(),
+        labeled.data.schema().len(),
+        kind.name(),
+        labeled.abnormal_region().intervals(),
+    );
+    Ok(())
+}
+
+fn plot(args: &[&String]) -> Result<(), String> {
+    let path = args.first().ok_or("plot requires a CSV path")?;
+    let attr = args.get(1).ok_or("plot requires an attribute name")?;
+    let dataset = load_dataset(path)?;
+    let region = option(args, "--region")
+        .map(|spec| parse_region(spec, dataset.n_rows()))
+        .transpose()?;
+    let text = render_plot(&dataset, attr, region.as_ref(), &PlotOptions::default())
+        .map_err(|e| e.to_string())?;
+    print!("{text}");
+    Ok(())
+}
+
+fn explain(args: &[&String]) -> Result<(), String> {
+    let path = args.first().ok_or("explain requires a CSV path")?;
+    let dataset = load_dataset(path)?;
+    let abnormal_spec = option(args, "--abnormal").ok_or("explain requires --abnormal A..B")?;
+    let abnormal = parse_region(abnormal_spec, dataset.n_rows())?;
+    let normal = option(args, "--normal")
+        .map(|spec| parse_region(spec, dataset.n_rows()))
+        .transpose()?;
+
+    let mut sherlock = Sherlock::new(params_from(args)?)
+        .with_domain_knowledge(DomainKnowledge::mysql_linux());
+    if let Some(models_path) = option(args, "--models") {
+        *sherlock.repository_mut() = load_repository(models_path)?;
+    }
+    let explanation = sherlock.explain(&dataset, &abnormal, normal.as_ref());
+    println!("predicates ({}):", explanation.predicates.len());
+    for generated in &explanation.predicates {
+        println!(
+            "  {:<48} SP {:.2}",
+            generated.predicate.to_string(),
+            generated.separation_power
+        );
+    }
+    if explanation.causes.is_empty() {
+        if !sherlock.repository().models().is_empty() {
+            println!("\nno stored cause above the confidence threshold");
+        }
+    } else {
+        println!("\nlikely causes:");
+        for cause in &explanation.causes {
+            println!("  {:<32} confidence {:.0}%", cause.cause, cause.confidence * 100.0);
+        }
+    }
+    Ok(())
+}
+
+fn feedback(args: &[&String]) -> Result<(), String> {
+    let path = args.first().ok_or("feedback requires a CSV path")?;
+    let dataset = load_dataset(path)?;
+    let abnormal =
+        parse_region(option(args, "--abnormal").ok_or("feedback requires --abnormal")?, dataset.n_rows())?;
+    let cause = option(args, "--cause").ok_or("feedback requires --cause")?;
+    let models_path = option(args, "--models").ok_or("feedback requires --models")?;
+
+    let mut sherlock = Sherlock::new(params_from(args)?);
+    *sherlock.repository_mut() = load_repository(models_path)?;
+    let explanation = sherlock.explain(&dataset, &abnormal, None);
+    if explanation.predicates.is_empty() {
+        return Err("no predicates could be generated for that region".into());
+    }
+    sherlock.feedback(cause, &explanation.predicates);
+    save_repository(models_path, sherlock.repository())?;
+    let model = sherlock.repository().model_of(cause).expect("just added");
+    println!(
+        "stored causal model {:?}: {} predicates (merged from {} diagnoses)",
+        cause,
+        model.predicates.len(),
+        model.merged_from
+    );
+    Ok(())
+}
+
+fn detect(args: &[&String]) -> Result<(), String> {
+    let path = args.first().ok_or("detect requires a CSV path")?;
+    let dataset = load_dataset(path)?;
+    let sherlock = Sherlock::new(SherlockParams::default());
+    match sherlock.detect(&dataset) {
+        Some(detection) => {
+            println!("proposed abnormal region: {:?}", detection.region.intervals());
+            let names: Vec<&str> = detection
+                .selected_attrs
+                .iter()
+                .take(8)
+                .map(|&id| dataset.schema().attr(id).name.as_str())
+                .collect();
+            println!(
+                "driven by {} attributes with high potential power, e.g. {names:?}",
+                detection.selected_attrs.len()
+            );
+        }
+        None => println!("nothing anomalous detected"),
+    }
+    Ok(())
+}

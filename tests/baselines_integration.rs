@@ -1,0 +1,95 @@
+//! Integration tests for the baselines against simulator data.
+
+use dbsherlock::baselines::{perfaugur_detect, PerfAugurConfig, PerfXplain, PerfXplainConfig, TrainingSet};
+use dbsherlock::prelude::*;
+
+fn incidents(kind: AnomalyKind, n: usize, base_seed: u64) -> Vec<LabeledDataset> {
+    (0..n as u64)
+        .map(|i| {
+            Scenario::new(WorkloadConfig::tpcc_default(), 170, base_seed + i)
+                .with_injection(Injection::new(kind, 60, 50))
+                .run()
+        })
+        .collect()
+}
+
+#[test]
+fn perfxplain_learns_something_on_simulator_data() {
+    let train = incidents(AnomalyKind::CpuSaturation, 4, 10);
+    let regions: Vec<Region> = train.iter().map(|l| l.abnormal_region()).collect();
+    let sets: Vec<TrainingSet<'_>> = train
+        .iter()
+        .zip(&regions)
+        .map(|(l, r)| TrainingSet { data: &l.data, abnormal: r })
+        .collect();
+    let model = PerfXplain::train(&sets, PerfXplainConfig::default()).expect("trainable");
+    assert!(!model.predicates.is_empty());
+    // Latency (the query's performance indicator) is never a feature.
+    assert!(model.predicates.iter().all(|p| p.attr != "txn_avg_latency_ms"));
+
+    let test = &incidents(AnomalyKind::CpuSaturation, 1, 77)[0];
+    let predicted = model.predict(&test.data);
+    let truth = test.abnormal_region();
+    let recall =
+        predicted.intersect(&truth).len() as f64 / truth.len() as f64;
+    assert!(recall > 0.3, "PerfXplain recall {recall}");
+}
+
+#[test]
+fn dbsherlock_predicates_beat_perfxplain_on_subtle_anomalies() {
+    use dbsherlock::core::{generate_predicates, merge_all, CausalModel};
+    // Poor Physical Design is the paper's (and our) subtle case.
+    let train = incidents(AnomalyKind::PoorPhysicalDesign, 6, 30);
+    let regions: Vec<Region> = train.iter().map(|l| l.abnormal_region()).collect();
+    let test = &incidents(AnomalyKind::PoorPhysicalDesign, 1, 99)[0];
+    let truth = test.abnormal_region();
+
+    // Strict separation-power floor: F1 scores the conjunction as a
+    // classifier (same configuration as the Fig. 9 harness).
+    let params = SherlockParams::for_merging().with_min_separation_power(0.85);
+    let models: Vec<CausalModel> = train
+        .iter()
+        .map(|l| {
+            let preds = generate_predicates(
+                &l.data,
+                &l.abnormal_region(),
+                &l.normal_region(),
+                &params,
+            );
+            CausalModel::from_feedback("ppd", &preds)
+        })
+        .collect();
+    let merged = merge_all(models.iter()).unwrap();
+    let dbs_f1 = merged.f1(&test.data, &truth).f1;
+
+    let sets: Vec<TrainingSet<'_>> = train
+        .iter()
+        .zip(&regions)
+        .map(|(l, r)| TrainingSet { data: &l.data, abnormal: r })
+        .collect();
+    let px = PerfXplain::train(&sets, PerfXplainConfig::default()).unwrap();
+    let predicted = px.predict(&test.data);
+    let px_acc = dbsherlock::core::Accuracy::of_regions(&predicted, &truth);
+
+    assert!(
+        dbs_f1 > px_acc.f1,
+        "DBSherlock F1 {dbs_f1:.2} should beat PerfXplain F1 {:.2}",
+        px_acc.f1
+    );
+}
+
+#[test]
+fn perfaugur_finds_plateaus_in_simulated_latency() {
+    let labeled = Scenario::new(WorkloadConfig::tpcc_default(), 640, 3)
+        .with_injection(Injection::new(AnomalyKind::LockContention, 300, 60))
+        .run();
+    let found = perfaugur_detect(&labeled.data, &PerfAugurConfig::default()).expect("window");
+    let truth = labeled.abnormal_region();
+    // PerfAugur should at least land inside the anomaly.
+    assert!(
+        !found.region.intersect(&truth).is_empty(),
+        "window {:?} misses truth {:?}",
+        found.region.intervals(),
+        truth.intervals()
+    );
+}

@@ -1,0 +1,139 @@
+//! End-to-end integration tests: simulator → core diagnosis pipeline.
+
+use dbsherlock::prelude::*;
+
+fn incident(kind: AnomalyKind, seed: u64) -> LabeledDataset {
+    Scenario::new(WorkloadConfig::tpcc_default(), 170, seed)
+        .with_injection(Injection::new(kind, 60, 50))
+        .run()
+}
+
+#[test]
+fn every_anomaly_class_yields_predicates() {
+    let sherlock = Sherlock::new(SherlockParams::default());
+    for (i, kind) in AnomalyKind::ALL.into_iter().enumerate() {
+        let labeled = incident(kind, 100 + i as u64);
+        let explanation =
+            sherlock.explain(&labeled.data, &labeled.abnormal_region(), None);
+        assert!(
+            !explanation.predicates.is_empty(),
+            "{} produced no predicates",
+            kind.name()
+        );
+        // Every emitted predicate must separate strongly on its own data.
+        for generated in &explanation.predicates {
+            assert!(
+                generated.separation_power >= sherlock.params().min_separation_power,
+                "{}: weak predicate {}",
+                kind.name(),
+                generated.predicate
+            );
+        }
+    }
+}
+
+#[test]
+fn feedback_loop_names_recurring_causes() {
+    let mut sherlock = Sherlock::new(SherlockParams::default());
+    for (i, kind) in AnomalyKind::ALL.into_iter().enumerate() {
+        let labeled = incident(kind, 300 + i as u64);
+        let explanation =
+            sherlock.explain(&labeled.data, &labeled.abnormal_region(), None);
+        sherlock.feedback(kind.name(), &explanation.predicates);
+    }
+    assert_eq!(sherlock.repository().models().len(), 10);
+
+    let mut correct = 0;
+    for (i, kind) in AnomalyKind::ALL.into_iter().enumerate() {
+        let labeled = incident(kind, 700 + i as u64);
+        let explanation =
+            sherlock.explain(&labeled.data, &labeled.abnormal_region(), None);
+        if explanation.top_cause().map(|c| c.cause == kind.name()).unwrap_or(false) {
+            correct += 1;
+        }
+    }
+    // Loose floor to stay robust to future tuning; the experiment binaries
+    // report the exact numbers.
+    assert!(correct >= 8, "only {correct}/10 recurring causes re-identified");
+}
+
+#[test]
+fn merged_models_transfer_across_intensities() {
+    use dbsherlock::core::{generate_predicates, merge_all, CausalModel};
+    let params = SherlockParams::for_merging();
+    let models: Vec<CausalModel> = (0..4u64)
+        .map(|i| {
+            let mut injection = Injection::new(AnomalyKind::TableRestore, 60, 45);
+            injection.intensity = 0.75 + 0.15 * i as f64;
+            let labeled = Scenario::new(WorkloadConfig::tpcc_default(), 170, 400 + i)
+                .with_injection(injection)
+                .run();
+            let predicates = generate_predicates(
+                &labeled.data,
+                &labeled.abnormal_region(),
+                &labeled.normal_region(),
+                &params,
+            );
+            CausalModel::from_feedback("Table Restore", &predicates)
+        })
+        .collect();
+    let merged = merge_all(models.iter()).unwrap();
+    assert!(merged.merged_from == 4);
+    assert!(!merged.predicates.is_empty());
+    // Merged predicate set is a subset of the first model's attributes.
+    for predicate in &merged.predicates {
+        assert!(models[0].predicates.iter().any(|p| p.attr == predicate.attr));
+    }
+
+    let test = incident(AnomalyKind::TableRestore, 999);
+    let truth = test.abnormal_region();
+    let merged_f1 = merged.f1(&test.data, &truth).f1;
+    assert!(merged_f1 > 0.5, "merged F1 {merged_f1}");
+    let confidence =
+        merged.confidence(&test.data, &truth, &test.normal_region(), &params);
+    assert!(confidence > 0.6, "merged confidence {confidence}");
+}
+
+#[test]
+fn detection_pipeline_matches_ground_truth_region() {
+    let labeled = Scenario::new(WorkloadConfig::tpcc_default(), 640, 17)
+        .with_injection(Injection::new(AnomalyKind::CpuSaturation, 280, 70))
+        .run();
+    let sherlock = Sherlock::new(SherlockParams::default());
+    let detection = sherlock.detect(&labeled.data).expect("detectable");
+    let iou = detection.region.iou(&labeled.abnormal_region());
+    assert!(iou > 0.5, "IoU {iou}: {:?}", detection.region.intervals());
+}
+
+#[test]
+fn csv_round_trip_preserves_diagnosis() {
+    use dbsherlock::telemetry::{from_csv, to_csv};
+    let labeled = incident(AnomalyKind::NetworkCongestion, 55);
+    let sherlock = Sherlock::new(SherlockParams::default());
+    let before = sherlock.explain(&labeled.data, &labeled.abnormal_region(), None);
+
+    let reloaded = from_csv(&to_csv(&labeled.data)).expect("own CSV parses");
+    let after = sherlock.explain(&reloaded, &labeled.abnormal_region(), None);
+
+    let names = |e: &dbsherlock::core::Explanation| -> Vec<String> {
+        e.predicates.iter().map(|g| g.predicate.attr.clone()).collect()
+    };
+    assert_eq!(names(&before), names(&after));
+}
+
+#[test]
+fn tpce_workload_diagnosable_too() {
+    let mut sherlock = Sherlock::new(SherlockParams::default());
+    let train = Scenario::new(WorkloadConfig::tpce_default(), 170, 21)
+        .with_injection(Injection::new(AnomalyKind::DatabaseBackup, 60, 50))
+        .run();
+    let explanation = sherlock.explain(&train.data, &train.abnormal_region(), None);
+    assert!(!explanation.predicates.is_empty());
+    sherlock.feedback("backup", &explanation.predicates);
+
+    let test = Scenario::new(WorkloadConfig::tpce_default(), 170, 22)
+        .with_injection(Injection::new(AnomalyKind::DatabaseBackup, 50, 60))
+        .run();
+    let verdict = sherlock.explain(&test.data, &test.abnormal_region(), None);
+    assert_eq!(verdict.top_cause().unwrap().cause, "backup");
+}
