@@ -55,11 +55,8 @@ pub struct ScoredWindow {
 /// original's surprise-vs-impact trade-off).
 pub fn window_score(values: &[f64], start: usize, len: usize) -> f64 {
     let inside = &values[start..start + len];
-    let outside: Vec<f64> = values[..start]
-        .iter()
-        .chain(values[start + len..].iter())
-        .copied()
-        .collect();
+    let outside: Vec<f64> =
+        values[..start].iter().chain(values[start + len..].iter()).copied().collect();
     if outside.is_empty() {
         return 0.0;
     }
@@ -120,8 +117,7 @@ mod tests {
     use dbsherlock_telemetry::{AttributeMeta, Schema, Value};
 
     fn latency_dataset(values: &[f64]) -> Dataset {
-        let schema =
-            Schema::from_attrs([AttributeMeta::numeric("txn_avg_latency_ms")]).unwrap();
+        let schema = Schema::from_attrs([AttributeMeta::numeric("txn_avg_latency_ms")]).unwrap();
         let mut d = Dataset::new(schema);
         for (i, &v) in values.iter().enumerate() {
             d.push_row(i as f64, &[Value::Num(v)]).unwrap();
@@ -154,9 +150,8 @@ mod tests {
 
     #[test]
     fn noisy_plateau_still_found() {
-        let mut values: Vec<f64> = (0..300)
-            .map(|i| 10.0 + ((i as f64) * 0.61).sin() * 2.0)
-            .collect();
+        let mut values: Vec<f64> =
+            (0..300).map(|i| 10.0 + ((i as f64) * 0.61).sin() * 2.0).collect();
         for (i, v) in values.iter_mut().enumerate().take(220).skip(180) {
             *v = 60.0 + ((i as f64) * 0.61).sin() * 5.0;
         }

@@ -139,9 +139,12 @@ impl PerfXplain {
         for _ in 0..config.n_predicates {
             let mut best: Option<(f64, PairPredicate, Vec<bool>)> = None;
             for &attr_id in &feature_ids {
-                for feature in
-                    [PairFeature::Similar, PairFeature::Greater, PairFeature::Less, PairFeature::Different]
-                {
+                for feature in [
+                    PairFeature::Similar,
+                    PairFeature::Greater,
+                    PairFeature::Less,
+                    PairFeature::Different,
+                ] {
                     let mut mask = vec![false; pairs.len()];
                     let mut picked = 0usize;
                     let mut picked_observed = 0usize;
@@ -169,7 +172,9 @@ impl PerfXplain {
                     }
                 }
             }
-            let Some((_, predicate, mask)) = best else { break };
+            let Some((_, predicate, mask)) = best else {
+                break;
+            };
             predicates.push(predicate);
             selected = mask;
         }
@@ -181,7 +186,9 @@ impl PerfXplain {
     /// satisfy the explanation?
     fn pair_matches(&self, data: &Dataset, slow_row: usize, fast_row: usize) -> bool {
         self.predicates.iter().all(|p| {
-            let Some(attr) = data.schema().id_of(&p.attr) else { return false };
+            let Some(attr) = data.schema().id_of(&p.attr) else {
+                return false;
+            };
             pair_feature(data, attr, slow_row, fast_row) == p.feature
         })
     }
@@ -267,10 +274,8 @@ mod tests {
     fn learns_the_causal_attribute() {
         let (d1, r1) = labeled_dataset(0.0);
         let (d2, r2) = labeled_dataset(7.0);
-        let sets = [
-            TrainingSet { data: &d1, abnormal: &r1 },
-            TrainingSet { data: &d2, abnormal: &r2 },
-        ];
+        let sets =
+            [TrainingSet { data: &d1, abnormal: &r1 }, TrainingSet { data: &d2, abnormal: &r2 }];
         let model = PerfXplain::train(&sets, config()).unwrap();
         assert!(!model.predicates.is_empty());
         assert!(
@@ -286,10 +291,8 @@ mod tests {
     fn predicts_the_abnormal_window() {
         let (d1, r1) = labeled_dataset(0.0);
         let (d2, r2) = labeled_dataset(7.0);
-        let sets = [
-            TrainingSet { data: &d1, abnormal: &r1 },
-            TrainingSet { data: &d2, abnormal: &r2 },
-        ];
+        let sets =
+            [TrainingSet { data: &d1, abnormal: &r1 }, TrainingSet { data: &d2, abnormal: &r2 }];
         let model = PerfXplain::train(&sets, config()).unwrap();
         let (test, truth) = labeled_dataset(13.0);
         let predicted = model.predict(&test);

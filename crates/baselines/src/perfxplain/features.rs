@@ -82,11 +82,9 @@ mod tests {
 
     #[test]
     fn features_from_dataset_pairs() {
-        let schema = Schema::from_attrs([
-            AttributeMeta::numeric("x"),
-            AttributeMeta::categorical("c"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::from_attrs([AttributeMeta::numeric("x"), AttributeMeta::categorical("c")])
+                .unwrap();
         let mut d = Dataset::new(schema);
         let a = d.intern(1, "a").unwrap();
         let b = d.intern(1, "b").unwrap();
@@ -101,11 +99,9 @@ mod tests {
 
     #[test]
     fn excluded_attributes_are_not_features() {
-        let schema = Schema::from_attrs([
-            AttributeMeta::numeric("latency"),
-            AttributeMeta::numeric("cpu"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::from_attrs([AttributeMeta::numeric("latency"), AttributeMeta::numeric("cpu")])
+                .unwrap();
         let d = Dataset::new(schema);
         let feats = feature_attributes(&d, &["latency"]);
         assert_eq!(feats, vec![1]);

@@ -1,7 +1,9 @@
 //! Criterion benchmarks for the comparison baselines.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dbsherlock_baselines::{perfaugur_detect, PerfAugurConfig, PerfXplain, PerfXplainConfig, TrainingSet};
+use dbsherlock_baselines::{
+    perfaugur_detect, PerfAugurConfig, PerfXplain, PerfXplainConfig, TrainingSet,
+};
 use dbsherlock_simulator::{AnomalyKind, Injection, LabeledDataset, Scenario, WorkloadConfig};
 use dbsherlock_telemetry::Region;
 use std::hint::black_box;

@@ -11,9 +11,7 @@ fn synthetic_points(n: usize, dims: usize) -> Vec<Point> {
     (0..n)
         .map(|i| {
             let base = if i % 10 == 0 { 1.0 } else { 0.0 };
-            (0..dims)
-                .map(|d| base + ((i * 37 + d * 11) % 100) as f64 / 1000.0)
-                .collect()
+            (0..dims).map(|d| base + ((i * 37 + d * 11) % 100) as f64 / 1000.0).collect()
         })
         .collect()
 }

@@ -30,9 +30,7 @@ fn bench_engine_ticks(c: &mut Criterion) {
 fn bench_scenario(c: &mut Criterion) {
     let scenario = Scenario::new(WorkloadConfig::tpcc_default(), 170, 11)
         .with_injection(Injection::new(AnomalyKind::WorkloadSpike, 60, 50));
-    c.bench_function("simulator/standard_scenario_170s", |b| {
-        b.iter(|| black_box(scenario.run()))
-    });
+    c.bench_function("simulator/standard_scenario_170s", |b| b.iter(|| black_box(scenario.run())));
 }
 
 criterion_group!(benches, bench_engine_ticks, bench_scenario);

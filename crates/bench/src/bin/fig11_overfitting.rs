@@ -6,8 +6,8 @@
 //! confidence, and (c) top-1/top-2 accuracy.
 
 use dbsherlock_bench::{
-    diagnose, merged_model, of_kind, pct, random_split, repository_from, tpcc_corpus,
-    write_json, ExperimentArgs, Table, Tally,
+    diagnose, merged_model, of_kind, pct, random_split, repository_from, tpcc_corpus, write_json,
+    ExperimentArgs, Table, Tally,
 };
 use dbsherlock_core::SherlockParams;
 use dbsherlock_simulator::AnomalyKind;
@@ -73,7 +73,15 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 11 — merged models from 5 vs 10 datasets (over-fitting check)",
-        &["Test case", "Conf (5)", "Conf (10)", "Margin (5)", "Margin (10)", "Top-1 (10)", "Top-2 (10)"],
+        &[
+            "Test case",
+            "Conf (5)",
+            "Conf (10)",
+            "Margin (5)",
+            "Margin (10)",
+            "Top-1 (10)",
+            "Top-2 (10)",
+        ],
     );
     let mut rows_json = Vec::new();
     let (mut t5, mut t10) = (Tally::default(), Tally::default());

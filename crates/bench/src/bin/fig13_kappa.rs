@@ -8,9 +8,7 @@
 
 use dbsherlock_bench::{pct, write_json, ExperimentArgs, Table};
 use dbsherlock_causal_synth::{SynthConfig, SynthInstance};
-use dbsherlock_core::{
-    generate_predicates, DomainKnowledge, Rule, SherlockParams,
-};
+use dbsherlock_core::{generate_predicates, DomainKnowledge, Rule, SherlockParams};
 
 /// Precision/recall/F1 of pruning decisions over `runs` random graphs at
 /// one κ_t.
@@ -37,7 +35,9 @@ fn prune_f1(kappa_t: f64, runs: usize, seed: u64) -> (f64, f64, f64) {
         let survivors = kb.prune(&inst.dataset, raw.clone(), &params);
         for generated in &raw {
             let attr = &generated.predicate.attr;
-            let Some(should_prune) = inst.should_prune(attr) else { continue };
+            let Some(should_prune) = inst.should_prune(attr) else {
+                continue;
+            };
             let was_pruned = !survivors.iter().any(|s| &s.predicate.attr == attr);
             match (was_pruned, should_prune) {
                 (true, true) => tp += 1,

@@ -7,12 +7,12 @@
 //! trial `v`, every class's model is built from its variant `v`, and the
 //! ten models compete on every dataset of every other variant.
 
+use dbsherlock_bench::Table;
 use dbsherlock_bench::{
     diagnose, pct, repository_from, single_model, tpcc_corpus, write_json, Tally,
 };
 use dbsherlock_core::SherlockParams;
 use dbsherlock_simulator::{AnomalyKind, VARIATIONS};
-use dbsherlock_bench::Table;
 
 fn main() {
     let corpus = tpcc_corpus();
@@ -37,11 +37,8 @@ fn main() {
             let slot = per_kind.iter_mut().find(|(k, ..)| *k == entry.kind).unwrap();
             slot.1.record(&outcome);
             // F1 of the correct model's predicates on the test dataset.
-            let correct_model =
-                models.iter().find(|m| m.cause == entry.kind.name()).unwrap();
-            let f1 = correct_model
-                .f1(&entry.labeled.data, &entry.labeled.abnormal_region())
-                .f1;
+            let correct_model = models.iter().find(|m| m.cause == entry.kind.name()).unwrap();
+            let f1 = correct_model.f1(&entry.labeled.data, &entry.labeled.abnormal_region()).f1;
             slot.2 += f1;
             slot.3 += 1;
         }

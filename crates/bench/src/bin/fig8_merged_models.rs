@@ -9,8 +9,8 @@
 //! θ = 0.2. Defaults here run 20 splits (`--full` for 50).
 
 use dbsherlock_bench::{
-    diagnose, merged_model, of_kind, pct, random_split, repository_from, single_model,
-    tpcc_corpus, write_json, ExperimentArgs, Table, Tally,
+    diagnose, merged_model, of_kind, pct, random_split, repository_from, single_model, tpcc_corpus,
+    write_json, ExperimentArgs, Table, Tally,
 };
 use dbsherlock_core::SherlockParams;
 use dbsherlock_simulator::AnomalyKind;
@@ -43,8 +43,7 @@ fn main() {
                 .zip(&splits)
                 .map(|(&kind, (train, _))| {
                     let entries = of_kind(corpus, kind);
-                    let chosen: Vec<_> =
-                        train[..n_merge].iter().map(|&i| entries[i]).collect();
+                    let chosen: Vec<_> = train[..n_merge].iter().map(|&i| entries[i]).collect();
                     merged_model(&chosen, &merged_params, None)
                 })
                 .collect();
@@ -52,11 +51,15 @@ fn main() {
             for (&kind, (_, test)) in AnomalyKind::ALL.iter().zip(&splits) {
                 let entries = of_kind(corpus, kind);
                 for &t in test {
-                    let outcome =
-                        diagnose(&repo, &entries[t].labeled, kind, &merged_params);
+                    let outcome = diagnose(&repo, &entries[t].labeled, kind, &merged_params);
                     by_count[n_merge - 1].record(&outcome);
                     if n_merge == 5 {
-                        merged_tally.iter_mut().find(|(k, _)| *k == kind).unwrap().1.record(&outcome);
+                        merged_tally
+                            .iter_mut()
+                            .find(|(k, _)| *k == kind)
+                            .unwrap()
+                            .1
+                            .record(&outcome);
                     }
                 }
             }
@@ -98,11 +101,7 @@ fn main() {
     );
     let mut overall = Tally::default();
     for (kind, tally) in &merged_tally {
-        table_b.row(vec![
-            kind.name().to_string(),
-            pct(tally.top1_pct()),
-            pct(tally.top2_pct()),
-        ]);
+        table_b.row(vec![kind.name().to_string(), pct(tally.top1_pct()), pct(tally.top2_pct())]);
         overall.merge(tally);
     }
     table_b.row(vec!["AVERAGE".into(), pct(overall.top1_pct()), pct(overall.top2_pct())]);

@@ -66,8 +66,7 @@ fn main() {
             dbs.add(&model.f1(&test.data, &truth));
 
             // PerfXplain on the same training data.
-            let regions: Vec<Region> =
-                train.iter().map(|e| e.labeled.abnormal_region()).collect();
+            let regions: Vec<Region> = train.iter().map(|e| e.labeled.abnormal_region()).collect();
             let sets: Vec<TrainingSet<'_>> = train
                 .iter()
                 .zip(&regions)

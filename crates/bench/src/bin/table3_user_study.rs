@@ -10,9 +10,7 @@
 //! participant picks via a softmax whose temperature encodes competency.
 //! The no-predicates baseline is exact: uniform choice over four options.
 
-use dbsherlock_bench::{
-    merged_model, of_kind, predicates_for, tpcc_corpus, write_json, Table,
-};
+use dbsherlock_bench::{merged_model, of_kind, predicates_for, tpcc_corpus, write_json, Table};
 use dbsherlock_core::{merge_predicates, CausalModel, GeneratedPredicate, SherlockParams};
 use dbsherlock_simulator::AnomalyKind;
 use rand::rngs::StdRng;
@@ -29,9 +27,9 @@ fn signature_match(shown: &[GeneratedPredicate], signature: &CausalModel) -> f64
         .predicates
         .iter()
         .filter(|sig| {
-            shown
-                .iter()
-                .any(|g| g.predicate.attr == sig.attr && merge_predicates(&g.predicate, sig).is_some())
+            shown.iter().any(|g| {
+                g.predicate.attr == sig.attr && merge_predicates(&g.predicate, sig).is_some()
+            })
         })
         .count();
     hits as f64 / signature.predicates.len() as f64
@@ -77,7 +75,7 @@ fn main() {
         ("DB Research or DBA Experience", 13, Some(0.12)),
     ];
 
-    let mut rng = StdRng::seed_from_u64(0x0B5E );
+    let mut rng = StdRng::seed_from_u64(0x0B5E);
     let mut table = Table::new(
         "Table 3 — simulated user study (10 questions, 4 choices each)",
         &["Background", "# participants", "Avg correct (out of 10)"],

@@ -6,8 +6,8 @@
 //! (App. A's explanation), so top-1 accuracy drops there.
 
 use dbsherlock_bench::{
-    diagnose, merged_model, of_kind, pct, random_split, repository_from, tpcc_corpus,
-    tpce_corpus, write_json, ExperimentArgs, Table, Tally,
+    diagnose, merged_model, of_kind, pct, random_split, repository_from, tpcc_corpus, tpce_corpus,
+    write_json, ExperimentArgs, Table, Tally,
 };
 use dbsherlock_core::SherlockParams;
 use dbsherlock_simulator::{AnomalyKind, CorpusEntry};

@@ -21,8 +21,12 @@ fn main() {
     let params = SherlockParams::for_merging();
     let mut rng = StdRng::seed_from_u64(0x7AB1E5);
 
-    let configs: [(&str, f64); 4] =
-        [("Original", 0.0), ("10% Longer", 0.10), ("10% Shorter", -0.10), ("Two Seconds", f64::NAN)];
+    let configs: [(&str, f64); 4] = [
+        ("Original", 0.0),
+        ("10% Longer", 0.10),
+        ("10% Shorter", -0.10),
+        ("Two Seconds", f64::NAN),
+    ];
     let mut tallies: Vec<Tally> = configs.iter().map(|_| Tally::default()).collect();
 
     for held_out in 0..11 {

@@ -4,12 +4,8 @@
 //! Single-model setup as in §8.3, with the two steps individually and
 //! jointly disabled.
 
-use dbsherlock_bench::{
-    diagnose, pct, repository_from, tpcc_corpus, write_json, Table, Tally,
-};
-use dbsherlock_core::{
-    generate_predicates_ablated, AblationFlags, CausalModel, SherlockParams,
-};
+use dbsherlock_bench::{diagnose, pct, repository_from, tpcc_corpus, write_json, Table, Tally};
+use dbsherlock_core::{generate_predicates_ablated, AblationFlags, CausalModel, SherlockParams};
 use dbsherlock_simulator::{AnomalyKind, VARIATIONS};
 
 fn run(flags: AblationFlags) -> Tally {
@@ -64,11 +60,7 @@ fn main() {
     let mut rows_json = Vec::new();
     for (label, flags) in rows {
         let tally = run(flags);
-        table.row(vec![
-            label.to_string(),
-            pct(tally.mean_margin_pct()),
-            pct(tally.top1_pct()),
-        ]);
+        table.row(vec![label.to_string(), pct(tally.mean_margin_pct()), pct(tally.top1_pct())]);
         rows_json.push(serde_json::json!({
             "algorithm": label,
             "margin_pct": tally.mean_margin_pct(),

@@ -47,18 +47,23 @@ fn main() {
 
             manual.record(&diagnose_with_region(&repo, &entry.labeled, &truth, kind, &params));
 
-            let auto_region: Region = detect_anomaly(&entry.labeled.data, &params)
-                .map(|d| d.region)
-                .unwrap_or_default();
+            let auto_region: Region =
+                detect_anomaly(&entry.labeled.data, &params).map(|d| d.region).unwrap_or_default();
             iou_auto_sum += auto_region.iou(&truth);
             auto.record(&diagnose_with_region(&repo, &entry.labeled, &auto_region, kind, &params));
 
-            let pa_region: Region = perfaugur_detect(&entry.labeled.data, &PerfAugurConfig::default())
-                .map(|w| w.region)
-                .unwrap_or_default();
+            let pa_region: Region =
+                perfaugur_detect(&entry.labeled.data, &PerfAugurConfig::default())
+                    .map(|w| w.region)
+                    .unwrap_or_default();
             iou_pa_sum += pa_region.iou(&truth);
-            perfaugur
-                .record(&diagnose_with_region(&repo, &entry.labeled, &pa_region, kind, &params));
+            perfaugur.record(&diagnose_with_region(
+                &repo,
+                &entry.labeled,
+                &pa_region,
+                kind,
+                &params,
+            ));
         }
     }
 

@@ -15,11 +15,8 @@ fn main() {
     let args = ExperimentArgs::parse();
     let runs = args.repeats_or(1000, 10_000);
     let config = SynthConfig::default();
-    let params = SherlockParams {
-        theta: 0.01,
-        min_separation_power: 0.0,
-        ..SherlockParams::default()
-    };
+    let params =
+        SherlockParams { theta: 0.01, min_separation_power: 0.0, ..SherlockParams::default() };
 
     // Confusion counts: actual = should-prune (secondary symptom)?
     let (mut tp, mut fp, mut fn_, mut tn) = (0usize, 0usize, 0usize, 0usize);
@@ -35,7 +32,9 @@ fn main() {
         let survivors = kb.prune(&inst.dataset, raw.clone(), &params);
         for generated in &raw {
             let attr = &generated.predicate.attr;
-            let Some(should_prune) = inst.should_prune(attr) else { continue };
+            let Some(should_prune) = inst.should_prune(attr) else {
+                continue;
+            };
             let was_pruned = !survivors.iter().any(|s| &s.predicate.attr == attr);
             match (was_pruned, should_prune) {
                 (true, true) => tp += 1,

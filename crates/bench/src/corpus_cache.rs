@@ -17,24 +17,25 @@ pub const CORPUS_SEED: u64 = 20160626; // SIGMOD'16 opening day
 fn generate_parallel(benchmark: Benchmark) -> Vec<CorpusEntry> {
     let mut entries: Vec<Option<CorpusEntry>> =
         (0..AnomalyKind::ALL.len() * VARIATIONS.len()).map(|_| None).collect();
-    let chunks: Vec<(usize, AnomalyKind)> =
-        AnomalyKind::ALL.iter().copied().enumerate().collect();
+    let chunks: Vec<(usize, AnomalyKind)> = AnomalyKind::ALL.iter().copied().enumerate().collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for &(kind_idx, kind) in &chunks {
-            handles.push((kind_idx, scope.spawn(move || {
-                (0..VARIATIONS.len())
-                    .map(|variant| CorpusEntry {
-                        kind,
-                        variant,
-                        labeled: standard_scenario(benchmark, kind, variant, CORPUS_SEED).run(),
-                    })
-                    .collect::<Vec<_>>()
-            })));
+            handles.push((
+                kind_idx,
+                scope.spawn(move || {
+                    (0..VARIATIONS.len())
+                        .map(|variant| CorpusEntry {
+                            kind,
+                            variant,
+                            labeled: standard_scenario(benchmark, kind, variant, CORPUS_SEED).run(),
+                        })
+                        .collect::<Vec<_>>()
+                }),
+            ));
         }
         for (kind_idx, handle) in handles {
-            for (variant, entry) in handle.join().expect("corpus thread").into_iter().enumerate()
-            {
+            for (variant, entry) in handle.join().expect("corpus thread").into_iter().enumerate() {
                 entries[kind_idx * VARIATIONS.len() + variant] = Some(entry);
             }
         }

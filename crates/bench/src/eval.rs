@@ -90,8 +90,22 @@ pub fn diagnose_with_region(
     truth: AnomalyKind,
     params: &SherlockParams,
 ) -> DiagnosisOutcome {
-    let normal = abnormal.complement(labeled.data.n_rows());
-    let ranked = repo.rank(&labeled.data, abnormal, &normal, params);
+    diagnose_dataset(repo, &labeled.data, abnormal, truth, params)
+}
+
+/// [`diagnose_with_region`] against a bare dataset — the degraded-telemetry
+/// experiments diagnose corrupted traces that no longer carry their
+/// [`LabeledDataset`] wrapper.
+pub fn diagnose_dataset(
+    repo: &ModelRepository,
+    dataset: &dbsherlock_telemetry::Dataset,
+    abnormal: &Region,
+    truth: AnomalyKind,
+    params: &SherlockParams,
+) -> DiagnosisOutcome {
+    let abnormal = &abnormal.clip(dataset.n_rows());
+    let normal = abnormal.complement(dataset.n_rows());
+    let ranked = repo.rank(dataset, abnormal, &normal, params);
     let correct_rank = ranked.iter().position(|r| r.cause == truth.name());
     let correct_confidence =
         correct_rank.map(|i| ranked[i].confidence).unwrap_or(f64::NEG_INFINITY);

@@ -77,9 +77,8 @@ impl SynthInstance {
         let start = rng.random_range(0..=max_start);
         let abnormal = Region::from_range(start..start + config.abnormal_len);
 
-        let schema =
-            Schema::from_attrs((0..config.k).map(|i| AttributeMeta::numeric(var_name(i))))
-                .expect("unique names");
+        let schema = Schema::from_attrs((0..config.k).map(|i| AttributeMeta::numeric(var_name(i))))
+            .expect("unique names");
         let mut dataset = Dataset::new(schema);
         let mut values = vec![0.0_f64; config.k];
         for row in 0..config.n_rows {
@@ -91,8 +90,7 @@ impl SynthInstance {
                     let mean = if is_abnormal && root_causes.contains(&j) { 100.0 } else { 10.0 };
                     normal(&mut rng, mean, 10.0)
                 } else {
-                    let linear: f64 =
-                        graph.parents[j].iter().map(|&(i, c)| c * values[i]).sum();
+                    let linear: f64 = graph.parents[j].iter().map(|&(i, c)| c * values[i]).sum();
                     linear + normal(&mut rng, 0.0, 1.0)
                 };
             }
@@ -113,11 +111,9 @@ impl SynthInstance {
                 if effect == cause {
                     continue;
                 }
-                let rule =
-                    SynthRule { cause: var_name(cause), effect: var_name(effect) };
-                let symmetric = rules
-                    .iter()
-                    .any(|r| r.cause == rule.effect && r.effect == rule.cause);
+                let rule = SynthRule { cause: var_name(cause), effect: var_name(effect) };
+                let symmetric =
+                    rules.iter().any(|r| r.cause == rule.effect && r.effect == rule.cause);
                 if symmetric || rules.contains(&rule) {
                     continue;
                 }
@@ -191,15 +187,9 @@ mod tests {
         let inst = SynthInstance::generate(&SynthConfig::default(), 7);
         let rc = inst.root_causes[0];
         let col = inst.dataset.numeric(rc).unwrap();
-        let abnormal_vals: Vec<f64> =
-            inst.abnormal.indices().iter().map(|&r| col[r]).collect();
-        let normal_vals: Vec<f64> = inst
-            .abnormal
-            .complement(600)
-            .indices()
-            .iter()
-            .map(|&r| col[r])
-            .collect();
+        let abnormal_vals: Vec<f64> = inst.abnormal.indices().iter().map(|&r| col[r]).collect();
+        let normal_vals: Vec<f64> =
+            inst.abnormal.complement(600).indices().iter().map(|&r| col[r]).collect();
         assert!((stats::mean(&abnormal_vals) - 100.0).abs() < 10.0);
         assert!((stats::mean(&normal_vals) - 10.0).abs() < 5.0);
     }
@@ -209,17 +199,10 @@ mod tests {
         let inst = SynthInstance::generate(&SynthConfig::default(), 11);
         let effect = inst.graph.effect_variable();
         let col = inst.dataset.numeric(effect).unwrap();
-        let abnormal_mean = stats::mean(
-            &inst.abnormal.indices().iter().map(|&r| col[r]).collect::<Vec<_>>(),
-        );
+        let abnormal_mean =
+            stats::mean(&inst.abnormal.indices().iter().map(|&r| col[r]).collect::<Vec<_>>());
         let normal_mean = stats::mean(
-            &inst
-                .abnormal
-                .complement(600)
-                .indices()
-                .iter()
-                .map(|&r| col[r])
-                .collect::<Vec<_>>(),
+            &inst.abnormal.complement(600).indices().iter().map(|&r| col[r]).collect::<Vec<_>>(),
         );
         assert!(
             (abnormal_mean - normal_mean).abs() > 10.0,

@@ -135,10 +135,7 @@ mod tests {
     #[test]
     fn reachability() {
         // 0 -> 1 -> 3; 2 isolated-ish.
-        let g = CausalGraph {
-            k: 4,
-            parents: vec![vec![], vec![(0, 2.0)], vec![], vec![(1, 1.0)]],
-        };
+        let g = CausalGraph { k: 4, parents: vec![vec![], vec![(0, 2.0)], vec![], vec![(1, 1.0)]] };
         assert!(g.reaches(0, 3));
         assert!(g.reaches(1, 3));
         assert!(!g.reaches(2, 3));

@@ -21,7 +21,9 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
 /// Transpose normalized columns into row points: `columns[c][r]` becomes
 /// coordinate `c` of point `r`.
 pub fn rows_from_columns(columns: &[&[f64]]) -> Vec<Point> {
-    let Some(first) = columns.first() else { return Vec::new() };
+    let Some(first) = columns.first() else {
+        return Vec::new();
+    };
     let n = first.len();
     debug_assert!(columns.iter().all(|c| c.len() == n));
     (0..n).map(|r| columns.iter().map(|c| c[r]).collect()).collect()

@@ -5,10 +5,7 @@ use dbsherlock_cluster::{dbscan, euclidean, kdist_list, Label, Point};
 use proptest::prelude::*;
 
 fn points_strategy() -> impl Strategy<Value = Vec<Point>> {
-    proptest::collection::vec(
-        proptest::collection::vec(-10.0_f64..10.0, 2),
-        0..60,
-    )
+    proptest::collection::vec(proptest::collection::vec(-10.0_f64..10.0, 2), 0..60)
 }
 
 proptest! {

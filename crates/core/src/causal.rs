@@ -32,10 +32,7 @@ pub struct CausalModel {
 
 impl CausalModel {
     /// Build a model from a confirmed diagnosis.
-    pub fn from_feedback(
-        cause: impl Into<String>,
-        predicates: &[GeneratedPredicate],
-    ) -> Self {
+    pub fn from_feedback(cause: impl Into<String>, predicates: &[GeneratedPredicate]) -> Self {
         CausalModel {
             cause: cause.into(),
             predicates: predicates.iter().map(|g| g.predicate.clone()).collect(),
@@ -63,7 +60,9 @@ impl CausalModel {
             .predicates
             .iter()
             .map(|pred| {
-                let Some(attr_id) = dataset.schema().id_of(&pred.attr) else { return 0.0 };
+                let Some(attr_id) = dataset.schema().id_of(&pred.attr) else {
+                    return 0.0;
+                };
                 let Some(space) = PartitionSpace::build(dataset, attr_id, params.n_partitions)
                 else {
                     return 0.0;
@@ -81,9 +80,10 @@ impl CausalModel {
         if self.predicates.is_empty() {
             return Region::new();
         }
-        Region::from_indices((0..dataset.n_rows()).filter(|&row| {
-            self.predicates.iter().all(|p| p.matches_row(dataset, row))
-        }))
+        Region::from_indices(
+            (0..dataset.n_rows())
+                .filter(|&row| self.predicates.iter().all(|p| p.matches_row(dataset, row))),
+        )
     }
 
     /// Precision, recall, and F1 of the model's predicted abnormal rows
@@ -192,11 +192,9 @@ mod tests {
 
     /// 40 rows; `hot` jumps to ~100 in rows 20..30, `cold` drops to ~0.
     fn dataset() -> (Dataset, Region, Region) {
-        let schema = Schema::from_attrs([
-            AttributeMeta::numeric("hot"),
-            AttributeMeta::numeric("cold"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::from_attrs([AttributeMeta::numeric("hot"), AttributeMeta::numeric("cold")])
+                .unwrap();
         let mut d = Dataset::new(schema);
         for i in 0..40 {
             let abnormal = (20..30).contains(&i);

@@ -160,9 +160,8 @@ mod tests {
             // Bell-ish noise: min–max normalization stretches any series
             // to [0, 1], so a realistic noise attribute concentrates its
             // mass near the middle instead of being uniform over the range.
-            let noise = (rng.random::<f64>() + rng.random::<f64>() + rng.random::<f64>())
-                / 3.0
-                * 100.0;
+            let noise =
+                (rng.random::<f64>() + rng.random::<f64>() + rng.random::<f64>()) / 3.0 * 100.0;
             d.push_row(i as f64, &[Value::Num(a), Value::Num(b), Value::Num(noise)]).unwrap();
         }
         (d, Region::from_range(200..240))

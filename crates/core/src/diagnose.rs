@@ -95,22 +95,19 @@ impl Sherlock {
         abnormal: &Region,
         normal: Option<&Region>,
     ) -> Explanation {
-        let default_normal;
+        // Clip to the rows that actually exist: with degraded telemetry the
+        // user's regions may reference rows that lossy ingestion dropped.
+        let abnormal = &abnormal.clip(dataset.n_rows());
         let normal = match normal {
-            Some(region) => region,
-            None => {
-                default_normal = abnormal.complement(dataset.n_rows());
-                &default_normal
-            }
+            Some(region) => region.clip(dataset.n_rows()),
+            None => abnormal.complement(dataset.n_rows()),
         };
+        let normal = &normal;
         let raw = generate_predicates(dataset, abnormal, normal, &self.params);
         let predicates = self.domain.prune(dataset, raw, &self.params);
         let all_causes = self.repository.rank(dataset, abnormal, normal, &self.params);
-        let causes = all_causes
-            .iter()
-            .filter(|c| c.confidence >= self.params.lambda)
-            .cloned()
-            .collect();
+        let causes =
+            all_causes.iter().filter(|c| c.confidence >= self.params.lambda).cloned().collect();
         Explanation { predicates, causes, all_causes }
     }
 
@@ -169,8 +166,7 @@ mod tests {
             let jitter = (i as f64 * 0.317).sin() * 0.9;
             let signal =
                 if abnormal { 80.0 + (i % 4) as f64 } else { 5.0 + (i % 6) as f64 } + jitter;
-            d.push_row(i as f64, &[Value::Num(signal), Value::Num(40.0 + (i % 3) as f64)])
-                .unwrap();
+            d.push_row(i as f64, &[Value::Num(signal), Value::Num(40.0 + (i % 3) as f64)]).unwrap();
         }
         (d, Region::from_range(30..45))
     }
@@ -218,6 +214,61 @@ mod tests {
         let explanation = sherlock.explain(&d, &abnormal, None);
         assert!(explanation.causes.is_empty());
         assert_eq!(explanation.all_causes.len(), 1);
+    }
+
+    #[test]
+    fn explain_tolerates_regions_beyond_the_dataset() {
+        let (d, _) = dataset();
+        let sherlock = Sherlock::new(SherlockParams::default());
+        // Regions defined over a healthier, longer dataset: rows ≥ 80 are
+        // gone after lossy ingestion. Must clip, not panic.
+        let abnormal = Region::from_indices((30..45).chain(100..150));
+        let normal = Region::from_range(120..200);
+        let explanation = sherlock.explain(&d, &abnormal, Some(&normal));
+        // The explicit normal region clipped to nothing -> no predicates.
+        assert!(explanation.predicates.is_empty());
+        // With the implicit complement, the surviving in-range part of the
+        // abnormal region still explains the anomaly.
+        let explanation = sherlock.explain(&d, &abnormal, None);
+        assert!(!explanation.predicates.is_empty());
+    }
+
+    #[test]
+    fn explain_survives_fully_out_of_range_abnormal() {
+        let (d, _) = dataset();
+        let sherlock = Sherlock::new(SherlockParams::default());
+        let abnormal = Region::from_range(500..600);
+        let explanation = sherlock.explain(&d, &abnormal, None);
+        assert!(explanation.predicates.is_empty());
+        assert!(explanation.causes.is_empty());
+    }
+
+    #[test]
+    fn explain_survives_nan_riddled_attributes() {
+        let (mut d, abnormal) = dataset();
+        // Poison one attribute completely and half of the other.
+        {
+            let col = d.numeric_mut(1).unwrap();
+            col.iter_mut().for_each(|v| *v = f64::NAN);
+        }
+        {
+            let col = d.numeric_mut(0).unwrap();
+            col.iter_mut().step_by(2).for_each(|v| *v = f64::NAN);
+        }
+        let sherlock = Sherlock::new(SherlockParams::default());
+        // Must complete without panicking; the signal may or may not
+        // survive at 50% NaN density.
+        let _ = sherlock.explain(&d, &abnormal, None);
+    }
+
+    #[test]
+    fn explain_on_empty_dataset_is_empty() {
+        let schema =
+            dbsherlock_telemetry::Schema::from_attrs([AttributeMeta::numeric("x")]).unwrap();
+        let d = Dataset::new(schema);
+        let sherlock = Sherlock::new(SherlockParams::default());
+        let explanation = sherlock.explain(&d, &Region::from_range(0..10), None);
+        assert!(explanation.predicates.is_empty());
     }
 
     #[test]

@@ -106,8 +106,7 @@ impl DomainKnowledge {
             if !cause_present {
                 continue;
             }
-            let Some(effect_idx) =
-                predicates.iter().position(|p| p.predicate.attr == rule.effect)
+            let Some(effect_idx) = predicates.iter().position(|p| p.predicate.attr == rule.effect)
             else {
                 continue;
             };
@@ -162,13 +161,7 @@ fn discretize(dataset: &Dataset, attr: &str, gamma: usize) -> Option<Discretized
             let bins = gamma.max(1);
             let codes = values
                 .iter()
-                .map(|&v| {
-                    if v.is_finite() {
-                        stats::bin_index(v, min, max, bins)
-                    } else {
-                        0
-                    }
-                })
+                .map(|&v| if v.is_finite() { stats::bin_index(v, min, max, bins) } else { 0 })
                 .collect();
             Some(Discretized { codes, bins })
         }
@@ -177,10 +170,7 @@ fn discretize(dataset: &Dataset, attr: &str, gamma: usize) -> Option<Discretized
             if dict.is_empty() {
                 return None;
             }
-            Some(Discretized {
-                codes: ids.iter().map(|&i| i as usize).collect(),
-                bins: dict.len(),
-            })
+            Some(Discretized { codes: ids.iter().map(|&i| i as usize).collect(), bins: dict.len() })
         }
     }
 }
@@ -215,8 +205,7 @@ mod tests {
             let base: f64 = rng.random::<f64>() * 100.0;
             let dep = base * 2.0 + 5.0;
             let indep: f64 = rng.random::<f64>() * 100.0;
-            d.push_row(i as f64, &[Value::Num(base), Value::Num(dep), Value::Num(indep)])
-                .unwrap();
+            d.push_row(i as f64, &[Value::Num(base), Value::Num(dep), Value::Num(indep)]).unwrap();
         }
         d
     }
@@ -236,11 +225,8 @@ mod tests {
     fn prune_removes_confirmed_secondary_symptom() {
         let d = dataset();
         let kb = DomainKnowledge::new([Rule::new("base", "dep")]).unwrap();
-        let survivors = kb.prune(
-            &d,
-            vec![generated("base"), generated("dep")],
-            &SherlockParams::default(),
-        );
+        let survivors =
+            kb.prune(&d, vec![generated("base"), generated("dep")], &SherlockParams::default());
         let names: Vec<&str> = survivors.iter().map(|p| p.predicate.attr.as_str()).collect();
         assert_eq!(names, vec!["base"]);
     }
@@ -249,11 +235,8 @@ mod tests {
     fn prune_keeps_effect_when_independent() {
         let d = dataset();
         let kb = DomainKnowledge::new([Rule::new("base", "indep")]).unwrap();
-        let survivors = kb.prune(
-            &d,
-            vec![generated("base"), generated("indep")],
-            &SherlockParams::default(),
-        );
+        let survivors =
+            kb.prune(&d, vec![generated("base"), generated("indep")], &SherlockParams::default());
         assert_eq!(survivors.len(), 2, "independent attributes must both survive");
     }
 
@@ -301,8 +284,7 @@ mod tests {
             let c: f64 = rng.random::<f64>() * 10.0;
             d.push_row(i as f64, &[Value::Num(a), Value::Num(a + 1.0), Value::Num(c)]).unwrap();
         }
-        let kb =
-            DomainKnowledge::new([Rule::new("a", "b"), Rule::new("b", "c")]).unwrap();
+        let kb = DomainKnowledge::new([Rule::new("a", "b"), Rule::new("b", "c")]).unwrap();
         let survivors = kb.prune(
             &d,
             vec![generated("a"), generated("b"), generated("c")],

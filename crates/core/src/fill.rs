@@ -52,11 +52,16 @@ fn anchor_normal_average(
     space: &PartitionSpace,
     normal: &Region,
 ) {
-    let Ok(values) = dataset.numeric(attr_id) else { return };
+    let Ok(values) = dataset.numeric(attr_id) else {
+        return;
+    };
+    // `normal` may outlive the rows it was defined over (lossy repair
+    // shrinks datasets), and surviving cells may be NaN: index defensively
+    // and keep only finite values.
     let normal_values: Vec<f64> = normal
         .indices()
         .iter()
-        .map(|&r| values[r])
+        .filter_map(|&r| values.get(r).copied())
         .filter(|v| v.is_finite())
         .collect();
     if normal_values.is_empty() {

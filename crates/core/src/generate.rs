@@ -59,6 +59,10 @@ pub fn generate_predicates_ablated(
     ablation: AblationFlags,
 ) -> Vec<GeneratedPredicate> {
     let mut out = Vec::new();
+    // Regions may have been defined over a healthier version of the data:
+    // lossy ingestion drops rows, so clip before any column indexing.
+    let abnormal = &abnormal.clip(dataset.n_rows());
+    let normal = &normal.clip(dataset.n_rows());
     if abnormal.is_empty() || normal.is_empty() {
         return out;
     }
@@ -76,8 +80,7 @@ pub fn generate_predicates_ablated(
                 } else {
                     fill_gaps(&filtered, params.delta, dataset, attr_id, &space, normal)
                 };
-                let Some(d) = normalized_mean_difference(dataset, attr_id, abnormal, normal)
-                else {
+                let Some(d) = normalized_mean_difference(dataset, attr_id, abnormal, normal) else {
                     continue;
                 };
                 if d <= params.theta {
@@ -95,8 +98,7 @@ pub fn generate_predicates_ablated(
                 }
             }
             AttributeKind::Categorical => {
-                if let Some(predicate) =
-                    extract_categorical(&attr.name, dataset, attr_id, &labels)
+                if let Some(predicate) = extract_categorical(&attr.name, dataset, attr_id, &labels)
                 {
                     let sp = separation_power(&predicate, dataset, abnormal, normal);
                     if sp >= params.min_separation_power {

@@ -21,9 +21,7 @@ pub fn label_partitions(
     normal: &Region,
 ) -> Vec<PartitionLabel> {
     match space {
-        PartitionSpace::Numeric { .. } => {
-            label_numeric(dataset, attr_id, space, abnormal, normal)
-        }
+        PartitionSpace::Numeric { .. } => label_numeric(dataset, attr_id, space, abnormal, normal),
         PartitionSpace::Categorical { .. } => {
             label_categorical(dataset, attr_id, space, abnormal, normal)
         }

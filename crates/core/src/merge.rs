@@ -33,8 +33,7 @@ pub fn merge_predicates(a: &Predicate, b: &Predicate) -> Option<Predicate> {
         // Opposite directions are inconsistent (paper §6.2).
         (Gt(_), Lt(_)) | (Lt(_), Gt(_)) => return None,
         (InSet(s1), InSet(s2)) => {
-            let intersection: Vec<String> =
-                s1.iter().filter(|l| s2.contains(l)).cloned().collect();
+            let intersection: Vec<String> = s1.iter().filter(|l| s2.contains(l)).cloned().collect();
             if intersection.is_empty() {
                 return None;
             }
@@ -52,7 +51,9 @@ pub fn merge_models(m1: &CausalModel, m2: &CausalModel) -> CausalModel {
     debug_assert_eq!(m1.cause, m2.cause);
     let mut predicates = Vec::new();
     for p1 in &m1.predicates {
-        let Some(p2) = m2.predicates.iter().find(|p| p.attr == p1.attr) else { continue };
+        let Some(p2) = m2.predicates.iter().find(|p| p.attr == p1.attr) else {
+            continue;
+        };
         if let Some(merged) = merge_predicates(p1, p2) {
             predicates.push(merged);
         }

@@ -87,11 +87,15 @@ impl Predicate {
     /// kind mismatches evaluate to `false` (a predicate about an attribute
     /// a dataset lacks cannot support an anomaly there).
     pub fn matches_row(&self, dataset: &Dataset, row: usize) -> bool {
-        let Some(attr_id) = dataset.schema().id_of(&self.attr) else { return false };
+        let Some(attr_id) = dataset.schema().id_of(&self.attr) else {
+            return false;
+        };
         match dataset.value(row, attr_id) {
             Value::Num(v) => self.op.matches_num(v),
             Value::Cat(id) => {
-                let Ok((_, dict)) = dataset.categorical(attr_id) else { return false };
+                let Ok((_, dict)) = dataset.categorical(attr_id) else {
+                    return false;
+                };
                 dict.label(id).map(|l| self.op.matches_label(l)).unwrap_or(false)
             }
         }

@@ -38,7 +38,9 @@ pub fn partition_satisfies(
             space.midpoint(j).map(|m| predicate.op.matches_num(m)).unwrap_or(false)
         }
         PartitionSpace::Categorical { .. } => {
-            let Ok((_, dict)) = dataset.categorical(attr_id) else { return false };
+            let Ok((_, dict)) = dataset.categorical(attr_id) else {
+                return false;
+            };
             dict.label(j as u32).map(|l| predicate.op.matches_label(l)).unwrap_or(false)
         }
     }

@@ -213,13 +213,7 @@ impl Perturbation {
     /// Fold `injection`'s effect for `tick` into this perturbation.
     /// `base_mix` is consulted for mix overrides; `pool_pages` sizes flush
     /// storms.
-    pub fn apply(
-        &mut self,
-        injection: &Injection,
-        tick: usize,
-        base_mix: &Mix,
-        pool_pages: f64,
-    ) {
+    pub fn apply(&mut self, injection: &Injection, tick: usize, base_mix: &Mix, pool_pages: f64) {
         if !injection.active_at(tick) {
             return;
         }

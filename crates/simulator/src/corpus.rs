@@ -109,23 +109,38 @@ pub fn compound_cases() -> Vec<(&'static str, Vec<AnomalyKind>)> {
     vec![
         (
             "CPU,IO,Network Saturation",
-            vec![AnomalyKind::CpuSaturation, AnomalyKind::IoSaturation, AnomalyKind::NetworkCongestion],
+            vec![
+                AnomalyKind::CpuSaturation,
+                AnomalyKind::IoSaturation,
+                AnomalyKind::NetworkCongestion,
+            ],
         ),
-        ("Workload Spike + Flush Log/Table", vec![AnomalyKind::WorkloadSpike, AnomalyKind::FlushLogTable]),
-        ("Workload Spike + Table Restore", vec![AnomalyKind::WorkloadSpike, AnomalyKind::TableRestore]),
-        ("Workload Spike + CPU Saturation", vec![AnomalyKind::WorkloadSpike, AnomalyKind::CpuSaturation]),
-        ("Workload Spike + I/O Saturation", vec![AnomalyKind::WorkloadSpike, AnomalyKind::IoSaturation]),
-        ("Workload Spike + Network Congestion", vec![AnomalyKind::WorkloadSpike, AnomalyKind::NetworkCongestion]),
+        (
+            "Workload Spike + Flush Log/Table",
+            vec![AnomalyKind::WorkloadSpike, AnomalyKind::FlushLogTable],
+        ),
+        (
+            "Workload Spike + Table Restore",
+            vec![AnomalyKind::WorkloadSpike, AnomalyKind::TableRestore],
+        ),
+        (
+            "Workload Spike + CPU Saturation",
+            vec![AnomalyKind::WorkloadSpike, AnomalyKind::CpuSaturation],
+        ),
+        (
+            "Workload Spike + I/O Saturation",
+            vec![AnomalyKind::WorkloadSpike, AnomalyKind::IoSaturation],
+        ),
+        (
+            "Workload Spike + Network Congestion",
+            vec![AnomalyKind::WorkloadSpike, AnomalyKind::NetworkCongestion],
+        ),
     ]
 }
 
 /// Generate one compound dataset: all listed anomalies active over the same
 /// 50-second window inside a two-minute normal run.
-pub fn compound_dataset(
-    benchmark: Benchmark,
-    kinds: &[AnomalyKind],
-    seed: u64,
-) -> LabeledDataset {
+pub fn compound_dataset(benchmark: Benchmark, kinds: &[AnomalyKind], seed: u64) -> LabeledDataset {
     let duration = 50;
     let mut scenario = Scenario::new(workload_for(benchmark), NORMAL_SECS + duration, seed);
     for &kind in kinds {

@@ -62,9 +62,15 @@ pub struct TickOutput {
 
 impl Engine {
     /// Create an engine.
-    pub fn new(server: ServerConfig, workload: WorkloadConfig, noise: NoiseModel, seed: u64) -> Self {
+    pub fn new(
+        server: ServerConfig,
+        workload: WorkloadConfig,
+        noise: NoiseModel,
+        seed: u64,
+    ) -> Self {
         let base_mix = Mix::for_benchmark(workload.benchmark);
-        let pool = BufferPool::new(server.buffer_pool_mb, server.page_size_kb, workload.data_size_mb());
+        let pool =
+            BufferPool::new(server.buffer_pool_mb, server.page_size_kb, workload.data_size_mb());
         let redo = RedoLog::new(server.redo_log_mb, server.adaptive_flushing);
         Engine {
             server,
@@ -138,8 +144,7 @@ impl Engine {
         const FG_DISK_SHARE: f64 = 0.80;
         let cpu_capacity = self.server.cpu_cores as f64 * self.server.core_capacity;
         let background_cpu = p.external_cpu + p.scan_cpu + restore_cpu + dump_cpu;
-        let cpu_for_txns =
-            (cpu_capacity - background_cpu).max(cpu_capacity * FG_CPU_SHARE);
+        let cpu_for_txns = (cpu_capacity - background_cpu).max(cpu_capacity * FG_CPU_SHARE);
 
         let disk_iops_capacity = self.server.disk_iops;
         let background_iops = p.external_disk_iops
@@ -192,7 +197,10 @@ impl Engine {
         // few statements costs a client round trip. This is what makes a
         // 300 ms network delay devastating for OLTP (paper §1).
         let statements_per_txn = mix.average(|c| {
-            c.statements.selects + c.statements.updates + c.statements.inserts + c.statements.deletes
+            c.statements.selects
+                + c.statements.updates
+                + c.statements.inserts
+                + c.statements.deletes
         });
         let round_trips_per_txn = (statements_per_txn / 3.0).max(1.0);
 
@@ -205,8 +213,9 @@ impl Engine {
             // stable.
             let rho_cpu = rho_cpu_at(tps).min(0.97);
             let rho_disk = rho_disk_at(tps).min(0.97);
-            let cpu_ms =
-                cpu_per_txn / self.server.core_capacity * 1000.0 * wait_factor(rho_cpu, self.server.cpu_cores as f64);
+            let cpu_ms = cpu_per_txn / self.server.core_capacity
+                * 1000.0
+                * wait_factor(rho_cpu, self.server.cpu_cores as f64);
             // Only read misses sit on the transaction's critical path;
             // flushing happens in the background.
             let sync_io_ops = logical_reads_per_txn * miss_rate;
@@ -236,11 +245,8 @@ impl Engine {
         // When lock serialization is the binding cap, the whole queueing
         // delay is lock wait.
         let lock_bound = cap_lock <= cap_cpu.min(cap_disk).min(cap_net) && tps >= cap_lock * 0.98;
-        let extra_lock_wait_ms = if lock_bound {
-            (latency_ms - BASE_OVERHEAD_MS).max(0.0) * tps
-        } else {
-            0.0
-        };
+        let extra_lock_wait_ms =
+            if lock_bound { (latency_ms - BASE_OVERHEAD_MS).max(0.0) * tps } else { 0.0 };
         let total_lock_wait_ms = lock_tick.total_wait_ms + extra_lock_wait_ms;
 
         // Buffer pool and redo log.
@@ -259,12 +265,14 @@ impl Engine {
         self.prev_flushed = pool_tick.flushed_pages + redo_tick.forced_flush_pages;
 
         // Disk traffic decomposition.
-        let disk_read_iops = pool_tick.physical_reads + scan_phys_reads + p.external_disk_iops / 2.0;
+        let disk_read_iops =
+            pool_tick.physical_reads + scan_phys_reads + p.external_disk_iops / 2.0;
         let disk_write_iops = pool_tick.flushed_pages
             + redo_tick.forced_flush_pages
             + restore_pages_dirtied
             + p.external_disk_iops / 2.0;
-        let disk_read_mb = disk_read_iops * self.server.page_size_kb / 1024.0 + p.dump_read_mb
+        let disk_read_mb = disk_read_iops * self.server.page_size_kb / 1024.0
+            + p.dump_read_mb
             + p.external_disk_mb / 2.0;
         let disk_write_mb = disk_write_iops * self.server.page_size_kb / 1024.0
             + redo_tick.written_kb / 1024.0
@@ -279,18 +287,19 @@ impl Engine {
         // CPU decomposition.
         let db_cpu_frac = (tps * cpu_per_txn + p.scan_cpu + restore_cpu) / cpu_capacity;
         let total_cpu_frac = (db_cpu_frac + (p.external_cpu + dump_cpu) / cpu_capacity).min(1.0);
-        let iowait_frac = ((rho_disk - total_cpu_frac).clamp(0.0, 1.0) * 0.35
-            * (1.0 - total_cpu_frac))
-            .clamp(0.0, 1.0 - total_cpu_frac);
+        let iowait_frac =
+            ((rho_disk - total_cpu_frac).clamp(0.0, 1.0) * 0.35 * (1.0 - total_cpu_frac))
+                .clamp(0.0, 1.0 - total_cpu_frac);
         let idle_frac = (1.0 - total_cpu_frac - iowait_frac).max(0.0);
 
         // External process pressure (stress-ng spawns many workers).
-        let external_procs = (p.external_cpu / 400.0) + (p.external_disk_iops / 400.0)
+        let external_procs = (p.external_cpu / 400.0)
+            + (p.external_disk_iops / 400.0)
             + if p.dump_read_mb > 0.0 { 1.0 } else { 0.0 }
             + if p.bulk_insert_rows > 0.0 { 1.0 } else { 0.0 };
 
-        let queued = ((terminals / (think_ms + latency_ms) * 1000.0) - tps).max(0.0)
-            * QUEUE_VISIBILITY;
+        let queued =
+            ((terminals / (think_ms + latency_ms) * 1000.0) - tps).max(0.0) * QUEUE_VISIBILITY;
 
         let m = &mut NumericMetrics::default();
         let n = &self.noise;
@@ -302,11 +311,7 @@ impl Engine {
         // stalls are what make naive pair-labeling ("are these two seconds
         // significantly different?") noisy — the regime where DBSherlock's
         // region-based predicates beat PerfXplain (paper §8.4).
-        let stall = if rng.random::<f64>() < 0.20 {
-            1.3 + 3.0 * rng.random::<f64>()
-        } else {
-            1.0
-        };
+        let stall = if rng.random::<f64>() < 0.20 { 1.3 + 3.0 * rng.random::<f64>() } else { 1.0 };
 
         // --- OS: CPU ---
         m.os_cpu_usage = n.apply_capped(rng, total_cpu_frac * 100.0, 100.0);
@@ -366,19 +371,15 @@ impl Engine {
             n.apply(rng, pool_tick.flushed_pages + redo_tick.forced_flush_pages);
         m.dbms_row_read_requests =
             n.apply(rng, tps * mix.average(|c| c.row_reads) + p.scan_row_reads);
-        m.dbms_rows_inserted = n.apply(
-            rng,
-            tps * mix.average(|c| c.statements.inserts) + restore_rows,
-        );
+        m.dbms_rows_inserted =
+            n.apply(rng, tps * mix.average(|c| c.statements.inserts) + restore_rows);
         m.dbms_rows_updated = n.apply(rng, tps * mix.average(|c| c.statements.updates) * 1.4);
         m.dbms_rows_deleted = n.apply(rng, tps * mix.average(|c| c.statements.deletes));
         m.dbms_num_selects =
             n.apply(rng, tps * mix.average(|c| c.statements.selects) + p.full_scans);
         m.dbms_num_updates = n.apply(rng, tps * mix.average(|c| c.statements.updates));
-        m.dbms_num_inserts = n.apply(
-            rng,
-            tps * mix.average(|c| c.statements.inserts) + restore_rows / 100.0,
-        );
+        m.dbms_num_inserts =
+            n.apply(rng, tps * mix.average(|c| c.statements.inserts) + restore_rows / 100.0);
         m.dbms_num_deletes = n.apply(rng, tps * mix.average(|c| c.statements.deletes));
         m.dbms_num_commits = n.apply(rng, tps + restore_rows / 1000.0);
         m.dbms_full_table_scans = n.apply(rng, p.full_scans + tps * 0.002);
@@ -389,15 +390,10 @@ impl Engine {
         m.dbms_buffer_hit_ratio = n.apply_capped(rng, pool_tick.hit_ratio * 100.0, 100.0);
         m.dbms_buffer_pages_free = n.apply(rng, pool_tick.free_pages);
         m.dbms_lock_wait_ms = n.apply(rng, total_lock_wait_ms);
-        m.dbms_lock_waits = n.apply(
-            rng,
-            lock_tick.lock_waits + if lock_bound { tps * 0.8 } else { 0.0 },
-        );
-        m.dbms_row_lock_current_waits = n.apply(
-            rng,
-            lock_tick.current_waits
-                + if lock_bound { concurrency * 0.7 } else { 0.0 },
-        );
+        m.dbms_lock_waits =
+            n.apply(rng, lock_tick.lock_waits + if lock_bound { tps * 0.8 } else { 0.0 });
+        m.dbms_row_lock_current_waits = n
+            .apply(rng, lock_tick.current_waits + if lock_bound { concurrency * 0.7 } else { 0.0 });
         m.dbms_deadlocks = n.apply(rng, lock_tick.deadlocks);
         m.dbms_redo_written_kb = n.apply(rng, redo_tick.written_kb);
         m.dbms_redo_used_pct = n.apply_capped(rng, redo_tick.used_fraction * 100.0, 100.0);
@@ -456,7 +452,6 @@ impl Engine {
 mod tests {
     use super::*;
     use crate::anomaly::{AnomalyKind, Injection};
-    
 
     fn quiet_engine() -> Engine {
         Engine::new(
@@ -627,8 +622,7 @@ mod tests {
         for _ in 0..30 {
             e.step(&p);
         }
-        let samples: Vec<f64> =
-            (0..300).map(|_| e.step(&p).numeric.txn_avg_latency_ms).collect();
+        let samples: Vec<f64> = (0..300).map(|_| e.step(&p).numeric.txn_avg_latency_ms).collect();
         let median = {
             let mut v = samples.clone();
             v.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -647,8 +641,7 @@ mod tests {
         // without collapsing throughput (asynchronous flushing).
         let mut e = quiet_engine();
         let normal = warmed(&mut e, 30);
-        let mut p = Perturbation::default();
-        p.index_overhead = 3.0;
+        let p = Perturbation { index_overhead: 3.0, ..Default::default() };
         let mut out = NumericMetrics::default();
         for _ in 0..30 {
             out = e.step(&p).numeric;

@@ -50,5 +50,5 @@ pub use corpus::{
 pub use engine::{Engine, TickOutput};
 pub use metrics::{metrics_schema, CategoricalMetrics, NumericMetrics, CATEGORICAL_NAMES};
 pub use noise::NoiseModel;
-pub use scenario::{LabeledDataset, Scenario};
+pub use scenario::{CorruptedDataset, LabeledDataset, Scenario};
 pub use txn::{Mix, StatementProfile, TxnClass};

@@ -260,7 +260,11 @@ mod tests {
     fn schema_has_expected_shape() {
         let schema = metrics_schema();
         assert_eq!(schema.len(), NumericMetrics::NAMES.len() + CATEGORICAL_NAMES.len());
-        assert!(schema.len() >= 75, "paper analyses hundreds of statistics; we model {}", schema.len());
+        assert!(
+            schema.len() >= 75,
+            "paper analyses hundreds of statistics; we model {}",
+            schema.len()
+        );
         assert_eq!(schema.id_of("os_cpu_usage"), Some(0));
         assert!(schema.id_of("config_flush_method").is_some());
     }

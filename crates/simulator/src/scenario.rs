@@ -5,7 +5,10 @@
 //! activity plus one or more injected abnormal situations, recorded as
 //! one-second aligned tuples with ground-truth anomaly regions.
 
-use dbsherlock_telemetry::{Dataset, Region, Value};
+use dbsherlock_telemetry::faults::{CorruptionReport, FaultPlan};
+use dbsherlock_telemetry::{
+    repair_alignment, Dataset, IngestWarning, Region, RepairOptions, Result, Value,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::anomaly::{AnomalyKind, Injection, Perturbation};
@@ -76,8 +79,7 @@ impl Scenario {
                 p.apply(injection, tick, &base_mix, pool_pages);
             }
             let out = engine.step(&p);
-            let mut values: Vec<Value> =
-                out.numeric.values().into_iter().map(Value::Num).collect();
+            let mut values: Vec<Value> = out.numeric.values().into_iter().map(Value::Num).collect();
             debug_assert_eq!(values.len(), numeric_count);
             for (offset, label) in out.categorical.labels().iter().enumerate() {
                 let attr_id = numeric_count + offset;
@@ -103,9 +105,7 @@ impl LabeledDataset {
     pub fn abnormal_region(&self) -> Region {
         let n = self.data.n_rows();
         Region::from_ranges(
-            self.injections
-                .iter()
-                .map(|inj| inj.start.min(n)..(inj.start + inj.duration).min(n)),
+            self.injections.iter().map(|inj| inj.start.min(n)..(inj.start + inj.duration).min(n)),
         )
     }
 
@@ -137,6 +137,59 @@ impl LabeledDataset {
         kinds.dedup();
         kinds
     }
+
+    /// Run this dataset's telemetry through a fault plan and the lossy
+    /// ingestion + alignment-repair pipeline, producing the degraded trace
+    /// an operator would actually have on a misbehaving collector.
+    ///
+    /// Ground truth survives by *wall clock*, not row index: the scenario
+    /// stamps row `i` with timestamp `i`, so the injection windows remain
+    /// valid time intervals even after rows are dropped, duplicated, or
+    /// reordered (see [`CorruptedDataset::abnormal_region`]).
+    pub fn corrupted(&self, plan: &FaultPlan) -> Result<CorruptedDataset> {
+        let (degraded, report, mut warnings) = plan.apply_to_dataset(&self.data)?;
+        let (repaired, repair_warnings) = repair_alignment(&degraded, &RepairOptions::default())?;
+        warnings.extend(repair_warnings);
+        Ok(CorruptedDataset {
+            data: repaired,
+            injections: self.injections.clone(),
+            report,
+            warnings,
+        })
+    }
+}
+
+/// A [`LabeledDataset`] after fault injection and best-effort repair.
+#[derive(Debug, Clone)]
+pub struct CorruptedDataset {
+    /// The degraded (lossy-ingested, alignment-repaired) telemetry.
+    pub data: Dataset,
+    /// The original injections; their `start`/`duration` are *seconds*, which
+    /// double as timestamps in scenario output.
+    pub injections: Vec<Injection>,
+    /// What the fault plan did to the trace.
+    pub report: CorruptionReport,
+    /// What ingestion and repair had to skip or patch up.
+    pub warnings: Vec<IngestWarning>,
+}
+
+impl CorruptedDataset {
+    /// Union of all injected anomaly windows, mapped onto the degraded rows
+    /// by timestamp.
+    pub fn abnormal_region(&self) -> Region {
+        let mut region = Region::new();
+        for inj in &self.injections {
+            let lo = inj.start as f64;
+            let hi = (inj.start + inj.duration) as f64 - 1.0;
+            region = region.union(&self.data.rows_in_time_range(lo, hi));
+        }
+        region
+    }
+
+    /// Everything not abnormal.
+    pub fn normal_region(&self) -> Region {
+        self.abnormal_region().complement(self.data.n_rows())
+    }
 }
 
 #[cfg(test)]
@@ -144,8 +197,11 @@ mod tests {
     use super::*;
 
     fn spike_scenario() -> Scenario {
-        Scenario::new(WorkloadConfig::tpcc_default(), 150, 11)
-            .with_injection(Injection::new(AnomalyKind::WorkloadSpike, 60, 40))
+        Scenario::new(WorkloadConfig::tpcc_default(), 150, 11).with_injection(Injection::new(
+            AnomalyKind::WorkloadSpike,
+            60,
+            40,
+        ))
     }
 
     #[test]
@@ -189,12 +245,7 @@ mod tests {
         let latency = labeled.data.numeric_by_name("txn_avg_latency_ms").unwrap();
         let abnormal = labeled.abnormal_region();
         let normal_mean = dbsherlock_telemetry::stats::mean(
-            &labeled
-                .normal_region()
-                .indices()
-                .iter()
-                .map(|&i| latency[i])
-                .collect::<Vec<_>>(),
+            &labeled.normal_region().indices().iter().map(|&i| latency[i]).collect::<Vec<_>>(),
         );
         let abnormal_mean = dbsherlock_telemetry::stats::mean(
             &abnormal.indices().iter().map(|&i| latency[i]).collect::<Vec<_>>(),
@@ -213,5 +264,47 @@ mod tests {
             a.data.numeric_by_name("txn_throughput").unwrap(),
             b.data.numeric_by_name("txn_throughput").unwrap()
         );
+    }
+
+    #[test]
+    fn corrupted_trace_keeps_time_based_truth() {
+        use dbsherlock_telemetry::faults::{FaultKind, FaultPlan};
+        let labeled = spike_scenario().run();
+        let plan = FaultPlan::single(FaultKind::DropRows, 0.2, 17);
+        let corrupted = labeled.corrupted(&plan).unwrap();
+        assert!(corrupted.data.n_rows() < 150);
+        assert!(corrupted.report.count(FaultKind::DropRows) > 0);
+        let abnormal = corrupted.abnormal_region();
+        // Every surviving abnormal row has a timestamp inside the window.
+        assert!(!abnormal.is_empty());
+        for &row in abnormal.indices() {
+            let t = corrupted.data.timestamps()[row];
+            assert!((60.0..100.0).contains(&t), "timestamp {t}");
+        }
+        // Dropping 20% of rows leaves most of the 40-second window.
+        assert!(abnormal.len() >= 20, "{}", abnormal.len());
+    }
+
+    #[test]
+    fn corrupted_trace_with_duplicates_is_repaired() {
+        use dbsherlock_telemetry::faults::{FaultKind, FaultPlan};
+        let labeled = spike_scenario().run();
+        let plan = FaultPlan::single(FaultKind::DuplicateRows, 0.4, 5);
+        let corrupted = labeled.corrupted(&plan).unwrap();
+        // Alignment repair collapses every duplicate back out.
+        assert_eq!(corrupted.data.n_rows(), 150);
+        assert!(!corrupted.warnings.is_empty());
+    }
+
+    #[test]
+    fn every_fault_kind_leaves_a_diagnosable_trace() {
+        use dbsherlock_telemetry::faults::{FaultKind, FaultPlan};
+        let labeled = spike_scenario().run();
+        for kind in FaultKind::ALL {
+            let plan = FaultPlan::single(kind, 0.1, 23);
+            let corrupted = labeled.corrupted(&plan).unwrap();
+            assert!(corrupted.data.n_rows() > 100, "{kind}: lost too much data");
+            assert!(!corrupted.abnormal_region().is_empty(), "{kind}: truth vanished");
+        }
     }
 }

@@ -75,9 +75,8 @@ impl Mix {
     /// Fraction of executed statements that are reads.
     pub fn read_fraction(&self) -> f64 {
         let reads = self.average(|c| c.statements.selects);
-        let writes = self.average(|c| {
-            c.statements.updates + c.statements.inserts + c.statements.deletes
-        });
+        let writes =
+            self.average(|c| c.statements.updates + c.statements.inserts + c.statements.deletes);
         if reads + writes == 0.0 {
             0.0
         } else {
@@ -105,7 +104,12 @@ fn tpcc_mix() -> Mix {
             log_kb: 4.0,
             net_kb: 2.4,
             lock_weight: 1.0,
-            statements: StatementProfile { selects: 13.0, updates: 11.0, inserts: 12.0, deletes: 0.0 },
+            statements: StatementProfile {
+                selects: 13.0,
+                updates: 11.0,
+                inserts: 12.0,
+                deletes: 0.0,
+            },
         },
         TxnClass {
             name: "payment",
@@ -138,7 +142,12 @@ fn tpcc_mix() -> Mix {
             log_kb: 6.0,
             net_kb: 0.4,
             lock_weight: 0.9,
-            statements: StatementProfile { selects: 10.0, updates: 20.0, inserts: 0.0, deletes: 10.0 },
+            statements: StatementProfile {
+                selects: 10.0,
+                updates: 20.0,
+                inserts: 0.0,
+                deletes: 10.0,
+            },
         },
         TxnClass {
             name: "stock_level",
@@ -212,7 +221,12 @@ fn tpce_mix() -> Mix {
             log_kb: 4.0,
             net_kb: 1.0,
             lock_weight: 0.7,
-            statements: StatementProfile { selects: 10.0, updates: 6.0, inserts: 3.0, deletes: 0.0 },
+            statements: StatementProfile {
+                selects: 10.0,
+                updates: 6.0,
+                inserts: 3.0,
+                deletes: 0.0,
+            },
         },
     ];
     Mix { classes, weights: vec![0.30, 0.20, 0.22, 0.15, 0.13] }

@@ -26,20 +26,21 @@ fn metrics_stay_physical_for_every_anomaly_class() {
             for row in 0..d.n_rows() {
                 let ctx = format!("{kind:?}/{benchmark:?} row {row}");
                 // Percentages bounded.
-                for pct_attr in
-                    ["os_cpu_usage", "os_cpu_idle", "os_cpu_iowait", "os_disk_util", "dbms_cpu_usage", "dbms_buffer_hit_ratio"]
-                {
+                for pct_attr in [
+                    "os_cpu_usage",
+                    "os_cpu_idle",
+                    "os_cpu_iowait",
+                    "os_disk_util",
+                    "dbms_cpu_usage",
+                    "dbms_buffer_hit_ratio",
+                ] {
                     let v = get(pct_attr)[row];
                     assert!((0.0..=100.0).contains(&v), "{ctx}: {pct_attr} = {v}");
                 }
                 // CPU accounting sums to ~100%.
-                let total = get("os_cpu_usage")[row]
-                    + get("os_cpu_idle")[row]
-                    + get("os_cpu_iowait")[row];
-                assert!(
-                    (85.0..=115.0).contains(&total),
-                    "{ctx}: cpu usage+idle+iowait = {total}"
-                );
+                let total =
+                    get("os_cpu_usage")[row] + get("os_cpu_idle")[row] + get("os_cpu_iowait")[row];
+                assert!((85.0..=115.0).contains(&total), "{ctx}: cpu usage+idle+iowait = {total}");
                 // The DBMS cannot use more CPU than the machine.
                 assert!(
                     get("dbms_cpu_usage")[row] <= get("os_cpu_usage")[row] + 5.0,
@@ -57,8 +58,7 @@ fn metrics_stay_physical_for_every_anomaly_class() {
                 );
                 // Little's law, loosely: threads ≈ tps × latency.
                 let threads = get("dbms_threads_running")[row];
-                let implied =
-                    get("txn_throughput")[row] * get("txn_avg_latency_ms")[row] / 1000.0;
+                let implied = get("txn_throughput")[row] * get("txn_avg_latency_ms")[row] / 1000.0;
                 assert!(
                     threads <= implied * 3.0 + 10.0,
                     "{ctx}: threads {threads} vs Little's-law {implied}"

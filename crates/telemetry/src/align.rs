@@ -8,7 +8,7 @@
 
 use crate::attribute::{AttributeMeta, Schema};
 use crate::dataset::Dataset;
-use crate::error::{Result, TelemetryError};
+use crate::error::{IngestWarning, Result, TelemetryError};
 use crate::value::Value;
 
 /// How samples falling into the same bucket are summarized.
@@ -154,6 +154,116 @@ pub fn align(
     Ok(dataset)
 }
 
+/// Options controlling [`repair_alignment`].
+#[derive(Debug, Clone)]
+pub struct RepairOptions {
+    /// Expected collection interval in seconds (the paper uses 1.0). Rows
+    /// are snapped to this grid and rows landing on the same grid point are
+    /// collapsed.
+    pub interval: f64,
+    /// When true (default), timestamps are snapped to the nearest multiple
+    /// of `interval`; when false, original timestamps are preserved (only
+    /// ordering and duplicates are repaired).
+    pub snap_to_grid: bool,
+}
+
+impl Default for RepairOptions {
+    fn default() -> Self {
+        RepairOptions { interval: 1.0, snap_to_grid: true }
+    }
+}
+
+/// Repair the time axis of a degraded dataset.
+///
+/// Corrupted collectors produce rows that are out of order (clock jitter),
+/// duplicated (retried flushes), clock-skewed onto ragged timestamps, or
+/// stamped with garbage. This pass restores the invariants the diagnosis
+/// pipeline assumes — strictly increasing, grid-aligned timestamps — without
+/// fabricating data:
+///
+/// 1. rows with non-finite timestamps are dropped,
+/// 2. rows are stably sorted by timestamp,
+/// 3. timestamps are snapped to the `interval` grid (when `snap_to_grid`),
+/// 4. rows colliding on the same grid point are collapsed (first one wins).
+///
+/// Gaps are left as gaps; filling them in is a modeling decision that belongs
+/// to [`align`] and its carry-forward policy, not to repair. Every dropped or
+/// collapsed row is reported as an [`IngestWarning`] whose line number
+/// follows the CSV convention (row `i` is line `i + 2`). The result may be
+/// empty if every timestamp was garbage — callers must tolerate that.
+pub fn repair_alignment(
+    dataset: &Dataset,
+    options: &RepairOptions,
+) -> Result<(Dataset, Vec<IngestWarning>)> {
+    if options.interval <= 0.0 {
+        return Err(TelemetryError::Parse { line: 0, message: "interval must be positive".into() });
+    }
+    let mut warnings = Vec::new();
+    let timestamps = dataset.timestamps();
+
+    // 1. Keep only rows with usable timestamps.
+    let mut keyed: Vec<(usize, f64)> = Vec::with_capacity(timestamps.len());
+    for (row, &t) in timestamps.iter().enumerate() {
+        if t.is_finite() {
+            keyed.push((row, t));
+        } else {
+            warnings.push(IngestWarning::SkippedRow {
+                line: row + 2,
+                reason: format!("non-finite timestamp {t}"),
+            });
+        }
+    }
+
+    // 2. Stable sort by timestamp; report rows that were out of order.
+    for pair in keyed.windows(2) {
+        if pair[1].1 < pair[0].1 {
+            warnings.push(IngestWarning::NonMonotonicTimestamp {
+                line: pair[1].0 + 2,
+                timestamp: pair[1].1,
+            });
+        }
+    }
+    keyed.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+    // 3 + 4. Snap to the grid and collapse collisions.
+    let mut out = Dataset::new(dataset.schema().clone());
+    let mut last_key: Option<i64> = None;
+    let mut last_exact: Option<f64> = None;
+    for (row, t) in keyed {
+        let (snapped, collided) = if options.snap_to_grid {
+            let key = (t / options.interval).round() as i64;
+            let hit = last_key == Some(key);
+            last_key = Some(key);
+            (key as f64 * options.interval, hit)
+        } else {
+            let hit = last_exact == Some(t);
+            last_exact = Some(t);
+            (t, hit)
+        };
+        if collided {
+            warnings.push(IngestWarning::SkippedRow {
+                line: row + 2,
+                reason: format!("duplicate sample for second {snapped}"),
+            });
+            continue;
+        }
+        let mut values = Vec::with_capacity(dataset.schema().len());
+        for attr_id in 0..dataset.schema().len() {
+            let v = match dataset.value(row, attr_id) {
+                Value::Num(x) => Value::Num(x),
+                Value::Cat(c) => {
+                    let (_, dict) = dataset.categorical(attr_id)?;
+                    let label = dict.label(c).unwrap_or("<unknown>").to_string();
+                    out.intern(attr_id, &label)?
+                }
+            };
+            values.push(v);
+        }
+        out.push_row(snapped, &values)?;
+    }
+    Ok((out, warnings))
+}
+
 fn bucket_of(t: f64, first_bucket: i64, interval: f64) -> usize {
     ((t / interval).floor() as i64 - first_bucket) as usize
 }
@@ -182,7 +292,7 @@ fn bucketize_numeric(
             Some(match stream.agg {
                 Aggregation::Mean => samples.iter().sum::<f64>() / samples.len() as f64,
                 Aggregation::Sum => samples.iter().sum(),
-                Aggregation::Last => *samples.last().expect("non-empty"),
+                Aggregation::Last => samples.last().copied().unwrap_or(f64::NAN),
                 Aggregation::Count => samples.len() as f64,
                 Aggregation::Max => samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
             })
@@ -240,12 +350,8 @@ mod tests {
     #[test]
     fn carry_forward_fills_gaps() {
         let opts = AlignOptions::default();
-        let d = align(
-            &[stream("g", Aggregation::Mean, &[(0.0, 5.0), (3.0, 9.0)])],
-            &[],
-            &opts,
-        )
-        .unwrap();
+        let d = align(&[stream("g", Aggregation::Mean, &[(0.0, 5.0), (3.0, 9.0)])], &[], &opts)
+            .unwrap();
         // Buckets 1 and 2 empty -> carry forward 5.0.
         assert_eq!(d.numeric_by_name("g").unwrap(), &[5.0, 5.0, 5.0, 9.0]);
     }
@@ -253,12 +359,9 @@ mod tests {
     #[test]
     fn count_streams_report_zero_for_empty_buckets() {
         let opts = AlignOptions::default();
-        let d = align(
-            &[stream("events", Aggregation::Count, &[(0.0, 1.0), (2.5, 1.0)])],
-            &[],
-            &opts,
-        )
-        .unwrap();
+        let d =
+            align(&[stream("events", Aggregation::Count, &[(0.0, 1.0), (2.5, 1.0)])], &[], &opts)
+                .unwrap();
         assert_eq!(d.numeric_by_name("events").unwrap(), &[1.0, 0.0, 1.0]);
     }
 
@@ -301,5 +404,72 @@ mod tests {
     fn nonpositive_interval_rejected() {
         let opts = AlignOptions { interval: 0.0, ..AlignOptions::default() };
         assert!(align(&[stream("x", Aggregation::Mean, &[(0.0, 1.0)])], &[], &opts).is_err());
+    }
+
+    fn dataset_with_timestamps(ts: &[f64]) -> Dataset {
+        let schema =
+            Schema::from_attrs([AttributeMeta::numeric("v"), AttributeMeta::categorical("job")])
+                .unwrap();
+        let mut d = Dataset::new(schema);
+        for (i, &t) in ts.iter().enumerate() {
+            let job = d.intern(1, if i % 2 == 0 { "a" } else { "b" }).unwrap();
+            d.push_row(t, &[Value::Num(i as f64), job]).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn repair_sorts_and_snaps() {
+        let d = dataset_with_timestamps(&[2.4, 0.1, 1.2]);
+        let (r, warnings) = repair_alignment(&d, &RepairOptions::default()).unwrap();
+        assert_eq!(r.timestamps(), &[0.0, 1.0, 2.0]);
+        // Values follow their rows through the sort.
+        assert_eq!(r.numeric(0).unwrap(), &[1.0, 2.0, 0.0]);
+        assert!(warnings.iter().any(|w| matches!(w, IngestWarning::NonMonotonicTimestamp { .. })));
+    }
+
+    #[test]
+    fn repair_collapses_duplicates_first_wins() {
+        let d = dataset_with_timestamps(&[0.0, 1.0, 1.1, 2.0]);
+        let (r, warnings) = repair_alignment(&d, &RepairOptions::default()).unwrap();
+        assert_eq!(r.timestamps(), &[0.0, 1.0, 2.0]);
+        assert_eq!(r.numeric(0).unwrap(), &[0.0, 1.0, 3.0]);
+        assert_eq!(
+            warnings.iter().filter(|w| matches!(w, IngestWarning::SkippedRow { .. })).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn repair_drops_garbage_timestamps() {
+        let d = dataset_with_timestamps(&[0.0, f64::NAN, 2.0, f64::INFINITY]);
+        let (r, warnings) = repair_alignment(&d, &RepairOptions::default()).unwrap();
+        assert_eq!(r.timestamps(), &[0.0, 2.0]);
+        assert_eq!(warnings.len(), 2);
+    }
+
+    #[test]
+    fn repair_of_all_garbage_yields_empty_dataset() {
+        let d = dataset_with_timestamps(&[f64::NAN, f64::NAN]);
+        let (r, _) = repair_alignment(&d, &RepairOptions::default()).unwrap();
+        assert_eq!(r.n_rows(), 0);
+    }
+
+    #[test]
+    fn repair_preserves_categorical_labels() {
+        let d = dataset_with_timestamps(&[3.0, 1.0, 2.0]);
+        let (r, _) = repair_alignment(&d, &RepairOptions::default()).unwrap();
+        let (ids, dict) = r.categorical(1).unwrap();
+        let labels: Vec<&str> = ids.iter().map(|&i| dict.label(i).unwrap()).collect();
+        // Original rows 0/1/2 had labels a/b/a; sorted order is rows 1, 2, 0.
+        assert_eq!(labels, vec!["b", "a", "a"]);
+    }
+
+    #[test]
+    fn repair_without_snapping_keeps_exact_times() {
+        let d = dataset_with_timestamps(&[1.5, 0.4]);
+        let opts = RepairOptions { snap_to_grid: false, ..RepairOptions::default() };
+        let (r, _) = repair_alignment(&d, &opts).unwrap();
+        assert_eq!(r.timestamps(), &[0.4, 1.5]);
     }
 }

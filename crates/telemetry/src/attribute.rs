@@ -140,12 +140,7 @@ impl Schema {
     /// Rebuild the name index (needed after deserializing, since the map is
     /// skipped by serde).
     pub fn rebuild_index(&mut self) {
-        self.index = self
-            .attrs
-            .iter()
-            .enumerate()
-            .map(|(i, a)| (a.name.clone(), i))
-            .collect();
+        self.index = self.attrs.iter().enumerate().map(|(i, a)| (a.name.clone(), i)).collect();
     }
 
     /// Structural equality on the attribute list (names + kinds, in order).

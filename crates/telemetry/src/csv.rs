@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 
 use crate::attribute::{AttributeKind, AttributeMeta, Schema};
 use crate::dataset::Dataset;
-use crate::error::{Result, TelemetryError};
+use crate::error::{IngestWarning, Result, TelemetryError};
 use crate::value::Value;
 
 /// Serialize a dataset to CSV text.
@@ -38,10 +38,12 @@ pub fn to_csv(dataset: &Dataset) -> String {
                     let _ = write!(out, "{}", fmt_num(v));
                 }
                 Value::Cat(c) => {
-                    let (_, dict) = dataset
+                    let label = dataset
                         .categorical(attr_id)
-                        .expect("schema says categorical");
-                    write_field(&mut out, dict.label(c).unwrap_or("<unknown>"));
+                        .ok()
+                        .and_then(|(_, dict)| dict.label(c))
+                        .unwrap_or("<unknown>");
+                    write_field(&mut out, label);
                     let _ = &attr;
                 }
             }
@@ -54,9 +56,8 @@ pub fn to_csv(dataset: &Dataset) -> String {
 /// Parse CSV text produced by [`to_csv`] back into a dataset.
 pub fn from_csv(text: &str) -> Result<Dataset> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or(TelemetryError::Parse { line: 1, message: "empty input".into() })?;
+    let (_, header) =
+        lines.next().ok_or(TelemetryError::Parse { line: 1, message: "empty input".into() })?;
     let fields = split_line(header, 1)?;
     if fields.first().map(String::as_str) != Some("timestamp") {
         return Err(TelemetryError::Parse {
@@ -103,6 +104,191 @@ pub fn from_csv(text: &str) -> Result<Dataset> {
     Ok(dataset)
 }
 
+/// Parse CSV text into a dataset, surviving degraded input.
+///
+/// Where [`from_csv`] aborts with a hard [`TelemetryError::Parse`] on the
+/// first malformed byte, this lossy reader applies a per-row skip/repair
+/// policy and reports everything it did as [`IngestWarning`]s:
+///
+/// * rows with too few/too many fields are padded (numeric cells with NaN,
+///   categorical cells with `"<missing>"`) or truncated;
+/// * unparseable numeric cells are repaired to NaN;
+/// * rows whose timestamp cannot be parsed, and fragments from a file
+///   truncated mid-row (unterminated quote on the final line), are skipped;
+/// * header fields missing a `:num`/`:cat` kind tag are assumed numeric, and
+///   duplicated attribute names are de-duplicated with a suffix — both
+///   reported as [`IngestWarning::HeaderDrift`];
+/// * non-finite numeric cells (`NaN`, `inf`) are kept but reported;
+/// * non-monotonic timestamps are kept (see
+///   [`repair_alignment`](crate::repair_alignment)) but reported.
+///
+/// Only a header too damaged to yield any schema (missing `timestamp`
+/// column, empty input) is a hard error. The returned dataset never has more
+/// rows than the input had data lines.
+pub fn from_csv_lossy(text: &str) -> Result<(Dataset, Vec<IngestWarning>)> {
+    let mut warnings = Vec::new();
+    let mut lines = text.lines().enumerate();
+    let (_, header) =
+        lines.next().ok_or(TelemetryError::Parse { line: 1, message: "empty input".into() })?;
+    let header_fields = match split_line(header, 1) {
+        Ok(fields) => fields,
+        Err(_) => {
+            return Err(TelemetryError::Parse {
+                line: 1,
+                message: "header is unreadable (unterminated quote)".into(),
+            })
+        }
+    };
+    if header_fields.first().map(String::as_str) != Some("timestamp") {
+        return Err(TelemetryError::Parse {
+            line: 1,
+            message: "first column must be `timestamp`".into(),
+        });
+    }
+    let mut schema = Schema::new();
+    for field in &header_fields[1..] {
+        let (name, kind) = match field.rsplit_once(':') {
+            Some((name, tag)) => match AttributeKind::from_tag(tag) {
+                Some(kind) => (name.to_string(), kind),
+                None => {
+                    warnings.push(IngestWarning::HeaderDrift {
+                        detail: format!("unknown kind tag in {field:?}; assuming numeric"),
+                    });
+                    (field.to_string(), AttributeKind::Numeric)
+                }
+            },
+            None => {
+                warnings.push(IngestWarning::HeaderDrift {
+                    detail: format!(
+                        "header field {field:?} missing `:num`/`:cat` tag; assuming numeric"
+                    ),
+                });
+                (field.to_string(), AttributeKind::Numeric)
+            }
+        };
+        let mut attempt = name.clone();
+        let mut suffix = 1usize;
+        while schema.push(AttributeMeta { name: attempt.clone(), kind }).is_err() {
+            suffix += 1;
+            attempt = format!("{name}_dup{suffix}");
+            if suffix == 2 {
+                warnings.push(IngestWarning::HeaderDrift {
+                    detail: format!("duplicate attribute {name:?}; renamed to {attempt:?}"),
+                });
+            }
+        }
+    }
+    let n_attrs = schema.len();
+    let mut dataset = Dataset::new(schema);
+    let mut last_line_no = 1usize;
+    let mut last_timestamp = f64::NEG_INFINITY;
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        last_line_no = line_no;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = match split_line(line, line_no) {
+            Ok(fields) => fields,
+            Err(_) => {
+                // An unterminated quote usually means the file was cut
+                // mid-row; drop the fragment.
+                warnings.push(IngestWarning::TruncatedInput { line: line_no });
+                continue;
+            }
+        };
+        let expected = n_attrs + 1;
+        if fields.len() != expected {
+            warnings.push(IngestWarning::ArityRepair {
+                line: line_no,
+                expected,
+                found: fields.len(),
+            });
+            if fields.len() < expected {
+                fields.resize(expected, String::new());
+            } else {
+                fields.truncate(expected);
+            }
+        }
+        let timestamp = match parse_num(&fields[0], line_no) {
+            Ok(t) if t.is_finite() => t,
+            _ => {
+                warnings.push(IngestWarning::SkippedRow {
+                    line: line_no,
+                    reason: format!("unusable timestamp {:?}", fields[0]),
+                });
+                continue;
+            }
+        };
+        if timestamp <= last_timestamp {
+            warnings.push(IngestWarning::NonMonotonicTimestamp { line: line_no, timestamp });
+        }
+        last_timestamp = last_timestamp.max(timestamp);
+        let mut values = Vec::with_capacity(n_attrs);
+        let mut row_ok = true;
+        for (attr_id, field) in fields[1..].iter().enumerate() {
+            let attr_name = || dataset.schema().attr(attr_id).name.clone();
+            let value = match dataset.schema().attr(attr_id).kind {
+                AttributeKind::Numeric => match parse_num(field, line_no) {
+                    Ok(v) => {
+                        if !v.is_finite() {
+                            warnings.push(IngestWarning::NonFiniteCell {
+                                line: line_no,
+                                attribute: attr_name(),
+                            });
+                        }
+                        Value::Num(v)
+                    }
+                    Err(_) => {
+                        warnings.push(IngestWarning::RepairedCell {
+                            line: line_no,
+                            attribute: attr_name(),
+                            reason: if field.trim().is_empty() {
+                                "empty cell".to_string()
+                            } else {
+                                format!("invalid number {field:?}")
+                            },
+                        });
+                        Value::Num(f64::NAN)
+                    }
+                },
+                AttributeKind::Categorical => {
+                    let label = if field.is_empty() { "<missing>" } else { field.as_str() };
+                    if field.is_empty() {
+                        warnings.push(IngestWarning::RepairedCell {
+                            line: line_no,
+                            attribute: attr_name(),
+                            reason: "empty cell".to_string(),
+                        });
+                    }
+                    match dataset.intern(attr_id, label) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            warnings.push(IngestWarning::SkippedRow {
+                                line: line_no,
+                                reason: e.to_string(),
+                            });
+                            row_ok = false;
+                            break;
+                        }
+                    }
+                }
+            };
+            values.push(value);
+        }
+        if !row_ok {
+            continue;
+        }
+        if let Err(e) = dataset.push_row(timestamp, &values) {
+            warnings.push(IngestWarning::SkippedRow { line: line_no, reason: e.to_string() });
+        }
+    }
+    // A file that ends without a newline after real content is fine; but if
+    // the last physical character cut a quoted field we already warned above.
+    let _ = last_line_no;
+    Ok((dataset, warnings))
+}
+
 /// Format a float compactly: integers lose the trailing `.0`.
 fn fmt_num(v: f64) -> String {
     if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
@@ -113,10 +299,10 @@ fn fmt_num(v: f64) -> String {
 }
 
 fn parse_num(field: &str, line: usize) -> Result<f64> {
-    field.trim().parse::<f64>().map_err(|_| TelemetryError::Parse {
-        line,
-        message: format!("invalid number {field:?}"),
-    })
+    field
+        .trim()
+        .parse::<f64>()
+        .map_err(|_| TelemetryError::Parse { line, message: format!("invalid number {field:?}") })
 }
 
 fn write_field(out: &mut String, field: &str) {
@@ -172,11 +358,9 @@ mod tests {
     use crate::attribute::AttributeMeta;
 
     fn sample() -> Dataset {
-        let schema = Schema::from_attrs([
-            AttributeMeta::numeric("cpu"),
-            AttributeMeta::categorical("job"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::from_attrs([AttributeMeta::numeric("cpu"), AttributeMeta::categorical("job")])
+                .unwrap();
         let mut d = Dataset::new(schema);
         let idle = d.intern(1, "idle").unwrap();
         let weird = d.intern(1, "a,\"b\"").unwrap();
@@ -238,5 +422,91 @@ mod tests {
     #[test]
     fn unterminated_quote_is_an_error() {
         assert!(from_csv("timestamp,job:cat\n0,\"oops\n").is_err());
+    }
+
+    #[test]
+    fn lossy_matches_strict_on_clean_input() {
+        let d = sample();
+        let text = to_csv(&d);
+        let (back, warnings) = from_csv_lossy(&text).unwrap();
+        assert!(warnings.is_empty(), "unexpected warnings: {warnings:?}");
+        assert!(back.schema().same_layout(d.schema()));
+        assert_eq!(back.numeric(0).unwrap(), d.numeric(0).unwrap());
+        assert_eq!(back.timestamps(), d.timestamps());
+    }
+
+    #[test]
+    fn lossy_repairs_bad_numbers_to_nan() {
+        let (d, warnings) = from_csv_lossy("timestamp,cpu:num\n0,hello\n1,2\n").unwrap();
+        assert_eq!(d.n_rows(), 2);
+        assert!(d.numeric(0).unwrap()[0].is_nan());
+        assert!(warnings.iter().any(|w| matches!(w, IngestWarning::RepairedCell { line: 2, .. })));
+    }
+
+    #[test]
+    fn lossy_pads_and_truncates_arity() {
+        let (d, warnings) = from_csv_lossy("timestamp,cpu:num,io:num\n0,1\n1,2,3,4\n").unwrap();
+        assert_eq!(d.n_rows(), 2);
+        // Short row padded: missing io cell becomes NaN.
+        assert!(d.numeric(1).unwrap()[0].is_nan());
+        // Long row truncated.
+        assert_eq!(d.numeric(0).unwrap()[1], 2.0);
+        assert_eq!(
+            warnings.iter().filter(|w| matches!(w, IngestWarning::ArityRepair { .. })).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn lossy_skips_rows_with_bad_timestamps() {
+        let (d, warnings) = from_csv_lossy("timestamp,cpu:num\nxyz,1\n1,2\n").unwrap();
+        assert_eq!(d.n_rows(), 1);
+        assert!(warnings.iter().any(|w| matches!(w, IngestWarning::SkippedRow { line: 2, .. })));
+    }
+
+    #[test]
+    fn lossy_tolerates_untagged_header_fields() {
+        let (d, warnings) = from_csv_lossy("timestamp,cpu\n0,1\n").unwrap();
+        assert_eq!(d.n_rows(), 1);
+        assert_eq!(d.numeric(0).unwrap(), &[1.0]);
+        assert!(warnings.iter().any(|w| matches!(w, IngestWarning::HeaderDrift { .. })));
+    }
+
+    #[test]
+    fn lossy_survives_truncated_tail() {
+        let (d, warnings) = from_csv_lossy("timestamp,job:cat\n0,a\n1,\"oo").unwrap();
+        assert_eq!(d.n_rows(), 1);
+        assert!(warnings.iter().any(|w| matches!(w, IngestWarning::TruncatedInput { line: 3 })));
+    }
+
+    #[test]
+    fn lossy_flags_non_monotonic_timestamps_but_keeps_rows() {
+        let (d, warnings) = from_csv_lossy("timestamp,cpu:num\n5,1\n2,2\n").unwrap();
+        assert_eq!(d.n_rows(), 2);
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, IngestWarning::NonMonotonicTimestamp { line: 3, .. })));
+    }
+
+    #[test]
+    fn lossy_interns_missing_categorical_cells() {
+        let (d, warnings) = from_csv_lossy("timestamp,job:cat\n0,\n1,work\n").unwrap();
+        let (ids, dict) = d.categorical(0).unwrap();
+        assert_eq!(dict.label(ids[0]).unwrap(), "<missing>");
+        assert!(warnings.iter().any(|w| matches!(w, IngestWarning::RepairedCell { .. })));
+    }
+
+    #[test]
+    fn lossy_still_rejects_hopeless_input() {
+        assert!(from_csv_lossy("").is_err());
+        assert!(from_csv_lossy("cpu:num\n1\n").is_err());
+    }
+
+    #[test]
+    fn lossy_renames_duplicate_columns() {
+        let (d, warnings) = from_csv_lossy("timestamp,cpu:num,cpu:num\n0,1,2\n").unwrap();
+        assert_eq!(d.schema().len(), 2);
+        assert!(warnings.iter().any(|w| matches!(w, IngestWarning::HeaderDrift { .. })));
+        assert_eq!(d.numeric(1).unwrap(), &[2.0]);
     }
 }

@@ -195,6 +195,24 @@ impl Dataset {
         Ok((lo, hi))
     }
 
+    /// Rows whose timestamp falls in `[lo, hi]`, as a [`Region`].
+    ///
+    /// This is how ground-truth anomaly windows survive telemetry corruption:
+    /// row *indices* shift when rows are dropped or duplicated, but the wall
+    /// clock does not, so experiments map their known anomaly intervals back
+    /// onto a degraded dataset by time rather than by index. Non-finite
+    /// timestamps never match.
+    pub fn rows_in_time_range(&self, lo: f64, hi: f64) -> Region {
+        let indices: Vec<usize> = self
+            .timestamps
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t.is_finite() && t >= lo && t <= hi)
+            .map(|(i, _)| i)
+            .collect();
+        Region::from_indices(indices)
+    }
+
     /// New dataset containing only the rows in `region`, in order.
     pub fn select(&self, region: &Region) -> Result<Dataset> {
         if let Some(&max) = region.indices().last() {
@@ -213,8 +231,7 @@ impl Dataset {
             }
         }
         for &row in region.indices() {
-            let values: Vec<Value> =
-                (0..self.schema.len()).map(|a| self.value(row, a)).collect();
+            let values: Vec<Value> = (0..self.schema.len()).map(|a| self.value(row, a)).collect();
             out.push_row(self.timestamps[row], &values)?;
         }
         Ok(out)
@@ -254,11 +271,8 @@ mod tests {
     use super::*;
 
     fn schema() -> Schema {
-        Schema::from_attrs([
-            AttributeMeta::numeric("cpu"),
-            AttributeMeta::categorical("job"),
-        ])
-        .unwrap()
+        Schema::from_attrs([AttributeMeta::numeric("cpu"), AttributeMeta::categorical("job")])
+            .unwrap()
     }
 
     fn sample() -> Dataset {

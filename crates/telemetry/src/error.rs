@@ -75,6 +75,110 @@ impl std::error::Error for TelemetryError {}
 /// Convenience alias used across the telemetry crate.
 pub type Result<T> = std::result::Result<T, TelemetryError>;
 
+/// A non-fatal problem encountered while ingesting degraded telemetry.
+///
+/// Produced by [`from_csv_lossy`](crate::from_csv_lossy) and
+/// [`repair_alignment`](crate::repair_alignment): instead of aborting on the
+/// first malformed byte the lossy path records what was skipped or repaired
+/// and keeps going. All line numbers are 1-based (header is line 1), matching
+/// [`TelemetryError::Parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestWarning {
+    /// A whole row was discarded.
+    SkippedRow {
+        /// 1-based line number of the row.
+        line: usize,
+        /// Why the row could not be salvaged.
+        reason: String,
+    },
+    /// A single cell was replaced with a placeholder (NaN for numeric cells).
+    RepairedCell {
+        /// 1-based line number of the row.
+        line: usize,
+        /// Attribute (column) name.
+        attribute: String,
+        /// What was wrong with the original cell.
+        reason: String,
+    },
+    /// A row had the wrong number of fields and was padded or truncated.
+    ArityRepair {
+        /// 1-based line number of the row.
+        line: usize,
+        /// Number of fields the schema expects (including timestamp).
+        expected: usize,
+        /// Number of fields found.
+        found: usize,
+    },
+    /// The header deviated from the expected layout but was salvaged.
+    HeaderDrift {
+        /// Human-readable description of the drift.
+        detail: String,
+    },
+    /// The input ended mid-row (truncated tail); the fragment was dropped.
+    TruncatedInput {
+        /// 1-based line number of the dangling fragment.
+        line: usize,
+    },
+    /// A numeric cell parsed as NaN/±∞ and was kept as-is.
+    NonFiniteCell {
+        /// 1-based line number of the row.
+        line: usize,
+        /// Attribute (column) name.
+        attribute: String,
+    },
+    /// A row's timestamp was not strictly after its predecessor's.
+    NonMonotonicTimestamp {
+        /// 1-based line number of the row.
+        line: usize,
+        /// The offending timestamp.
+        timestamp: f64,
+    },
+}
+
+impl IngestWarning {
+    /// 1-based line number the warning refers to, if any.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            IngestWarning::SkippedRow { line, .. }
+            | IngestWarning::RepairedCell { line, .. }
+            | IngestWarning::ArityRepair { line, .. }
+            | IngestWarning::TruncatedInput { line }
+            | IngestWarning::NonFiniteCell { line, .. }
+            | IngestWarning::NonMonotonicTimestamp { line, .. } => Some(*line),
+            IngestWarning::HeaderDrift { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for IngestWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestWarning::SkippedRow { line, reason } => {
+                write!(f, "line {line}: skipped row ({reason})")
+            }
+            IngestWarning::RepairedCell { line, attribute, reason } => {
+                write!(f, "line {line}: repaired cell in {attribute:?} ({reason})")
+            }
+            IngestWarning::ArityRepair { line, expected, found } => {
+                write!(
+                    f,
+                    "line {line}: expected {expected} fields, found {found}; padded/truncated"
+                )
+            }
+            IngestWarning::HeaderDrift { detail } => write!(f, "line 1: header drift: {detail}"),
+            IngestWarning::TruncatedInput { line } => {
+                write!(f, "line {line}: input truncated mid-row; fragment dropped")
+            }
+            IngestWarning::NonFiniteCell { line, attribute } => {
+                write!(f, "line {line}: non-finite value in {attribute:?}")
+            }
+            IngestWarning::NonMonotonicTimestamp { line, timestamp } => {
+                write!(f, "line {line}: timestamp {timestamp} not after predecessor")
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+// Ingestion must degrade gracefully, never panic: unwrap/expect are banned in
+// library code (tests may use them freely).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! Telemetry data model and preprocessing substrate for DBSherlock.
 //!
@@ -31,16 +34,21 @@ pub mod attribute;
 pub mod csv;
 pub mod dataset;
 pub mod error;
+pub mod faults;
 pub mod plot;
 pub mod region;
 pub mod stats;
 pub mod value;
 
-pub use align::{align, Aggregation, AlignOptions, CategoricalStream, NumericStream};
+pub use align::{
+    align, repair_alignment, Aggregation, AlignOptions, CategoricalStream, NumericStream,
+    RepairOptions,
+};
 pub use attribute::{AttributeKind, AttributeMeta, Schema};
-pub use csv::{from_csv, to_csv};
+pub use csv::{from_csv, from_csv_lossy, to_csv};
 pub use dataset::{Column, Dataset};
-pub use error::{Result, TelemetryError};
+pub use error::{IngestWarning, Result, TelemetryError};
+pub use faults::{CorruptionEvent, CorruptionReport, FaultKind, FaultPlan, FaultSpec};
 pub use plot::{render as render_plot, PlotOptions};
 pub use region::Region;
 pub use value::{Dictionary, Value};

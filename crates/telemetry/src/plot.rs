@@ -53,9 +53,8 @@ pub fn render(
         let chunk_end = (chunk_start + per_col).min(n);
         let slice = &values[chunk_start..chunk_end];
         let mean = slice.iter().sum::<f64>() / slice.len() as f64;
-        let hot = region
-            .map(|r| (chunk_start..chunk_end).any(|row| r.contains(row)))
-            .unwrap_or(false);
+        let hot =
+            region.map(|r| (chunk_start..chunk_end).any(|row| r.contains(row))).unwrap_or(false);
         columns.push((mean, hot));
     }
     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);

@@ -72,6 +72,16 @@ impl Region {
         Region { indices: out }
     }
 
+    /// The region restricted to rows `< len`.
+    ///
+    /// Lossy ingestion and alignment repair can shrink a dataset after a
+    /// region was defined over it; clipping keeps index-based regions safe
+    /// to evaluate against the degraded data.
+    pub fn clip(&self, len: usize) -> Region {
+        let cut = self.indices.partition_point(|&row| row < len);
+        Region { indices: self.indices[..cut].to_vec() }
+    }
+
     /// Union of two regions.
     pub fn union(&self, other: &Region) -> Region {
         Region::from_indices(self.indices.iter().chain(other.indices.iter()).copied())
@@ -98,12 +108,7 @@ impl Region {
     /// Rows in `self` but not in `other`.
     pub fn difference(&self, other: &Region) -> Region {
         Region {
-            indices: self
-                .indices
-                .iter()
-                .copied()
-                .filter(|row| !other.contains(*row))
-                .collect(),
+            indices: self.indices.iter().copied().filter(|row| !other.contains(*row)).collect(),
         }
     }
 
@@ -219,6 +224,15 @@ mod tests {
         assert_eq!(a.difference(&b).indices(), &[1, 2]);
         assert!((a.iou(&b) - 0.25).abs() < 1e-12);
         assert_eq!(Region::new().iou(&Region::new()), 0.0);
+    }
+
+    #[test]
+    fn clip_drops_out_of_range_rows() {
+        let r = Region::from_indices([1, 3, 7, 9]);
+        assert_eq!(r.clip(8).indices(), &[1, 3, 7]);
+        assert_eq!(r.clip(100), r);
+        assert!(r.clip(0).is_empty());
+        assert!(r.clip(1).is_empty());
     }
 
     #[test]

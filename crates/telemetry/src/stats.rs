@@ -46,17 +46,14 @@ pub fn median_in_place(scratch: &mut [f64]) -> f64 {
     }
     let n = scratch.len();
     let mid = n / 2;
-    let (_, upper_mid, _) =
-        scratch.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let (_, upper_mid, _) = scratch
+        .select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let upper = *upper_mid;
     if n % 2 == 1 {
         upper
     } else {
         // Largest element of the lower half.
-        let lower = scratch[..mid]
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let lower = scratch[..mid].iter().copied().fold(f64::NEG_INFINITY, f64::max);
         (lower + upper) / 2.0
     }
 }
@@ -192,8 +189,7 @@ pub fn joint_histogram(a: &[usize], b: &[usize], bins_a: usize, bins_b: usize) -
 pub fn mutual_information(joint: &[Vec<usize>]) -> f64 {
     let marg_a: Vec<usize> = joint.iter().map(|row| row.iter().sum()).collect();
     let bins_b = joint.first().map_or(0, Vec::len);
-    let marg_b: Vec<usize> =
-        (0..bins_b).map(|j| joint.iter().map(|row| row[j]).sum()).collect();
+    let marg_b: Vec<usize> = (0..bins_b).map(|j| joint.iter().map(|row| row[j]).sum()).collect();
     let flat: Vec<usize> = joint.iter().flatten().copied().collect();
     entropy_of_counts(&marg_a) + entropy_of_counts(&marg_b) - entropy_of_counts(&flat)
 }
@@ -205,8 +201,7 @@ pub fn mutual_information(joint: &[Vec<usize>]) -> f64 {
 pub fn independence_factor(joint: &[Vec<usize>]) -> f64 {
     let marg_a: Vec<usize> = joint.iter().map(|row| row.iter().sum()).collect();
     let bins_b = joint.first().map_or(0, Vec::len);
-    let marg_b: Vec<usize> =
-        (0..bins_b).map(|j| joint.iter().map(|row| row[j]).sum()).collect();
+    let marg_b: Vec<usize> = (0..bins_b).map(|j| joint.iter().map(|row| row[j]).sum()).collect();
     let ha = entropy_of_counts(&marg_a);
     let hb = entropy_of_counts(&marg_b);
     if ha <= 0.0 || hb <= 0.0 {

@@ -37,8 +37,7 @@ fn main() {
     // Diagnose each compound scenario and show the top-3 causes.
     for (i, (name, kinds)) in compound_cases().into_iter().enumerate() {
         let labeled = compound_dataset(Benchmark::TpccLike, &kinds, 3000 + i as u64);
-        let explanation =
-            sherlock.explain(&labeled.data, &labeled.abnormal_region(), None);
+        let explanation = sherlock.explain(&labeled.data, &labeled.abnormal_region(), None);
         let expected: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
         println!("\n{name}");
         println!("  expected: {expected:?}");

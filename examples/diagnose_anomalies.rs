@@ -23,8 +23,7 @@ fn main() {
     println!("=== training: one confirmed diagnosis per anomaly class ===");
     for (i, kind) in AnomalyKind::ALL.into_iter().enumerate() {
         let labeled = incident(kind, 1000 + i as u64);
-        let explanation =
-            sherlock.explain(&labeled.data, &labeled.abnormal_region(), None);
+        let explanation = sherlock.explain(&labeled.data, &labeled.abnormal_region(), None);
         println!("  {:24} -> {:2} predicates", kind.name(), explanation.predicates.len());
         sherlock.feedback(kind.name(), &explanation.predicates);
     }
@@ -34,8 +33,7 @@ fn main() {
     let mut correct = 0;
     for (i, kind) in AnomalyKind::ALL.into_iter().enumerate() {
         let labeled = incident(kind, 2000 + i as u64);
-        let explanation =
-            sherlock.explain(&labeled.data, &labeled.abnormal_region(), None);
+        let explanation = sherlock.explain(&labeled.data, &labeled.abnormal_region(), None);
         let verdict = explanation.top_cause();
         let ok = verdict.map(|c| c.cause == kind.name()).unwrap_or(false);
         if ok {

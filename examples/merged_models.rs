@@ -15,8 +15,9 @@ fn main() {
     for i in 0..5u64 {
         let mut injection = Injection::new(AnomalyKind::LockContention, 50, 40 + 5 * i as usize);
         injection.intensity = 0.7 + 0.15 * i as f64;
-        let labeled =
-            Scenario::new(WorkloadConfig::tpcc_default(), 170, 40 + i).with_injection(injection).run();
+        let labeled = Scenario::new(WorkloadConfig::tpcc_default(), 170, 40 + i)
+            .with_injection(injection)
+            .run();
         let predicates = generate_predicates(
             &labeled.data,
             &labeled.abnormal_region(),
@@ -47,8 +48,7 @@ fn main() {
     let truth = test.abnormal_region();
     let single_f1 = models[0].f1(&test.data, &truth).f1;
     let merged_f1 = merged.f1(&test.data, &truth).f1;
-    let single_conf =
-        models[0].confidence(&test.data, &truth, &test.normal_region(), &params);
+    let single_conf = models[0].confidence(&test.data, &truth, &test.normal_region(), &params);
     let merged_conf = merged.confidence(&test.data, &truth, &test.normal_region(), &params);
     println!("\non an unseen incident:");
     println!("  single model: F1 = {single_f1:.2}, confidence = {single_conf:.2}");

@@ -34,8 +34,16 @@ fn main() {
 
     let aligned = align(
         &[
-            NumericStream { name: "os_cpu_usage".into(), agg: Aggregation::Mean, samples: cpu_samples },
-            NumericStream { name: "dbms_num_commits".into(), agg: Aggregation::Count, samples: commit_events },
+            NumericStream {
+                name: "os_cpu_usage".into(),
+                agg: Aggregation::Mean,
+                samples: cpu_samples,
+            },
+            NumericStream {
+                name: "dbms_num_commits".into(),
+                agg: Aggregation::Count,
+                samples: commit_events,
+            },
         ],
         &[CategoricalStream { name: "log_rotation_state".into(), samples: state_changes }],
         &AlignOptions::default(),

@@ -13,7 +13,11 @@ fn main() {
         .with_injection(Injection::new(AnomalyKind::IoSaturation, 60, 50))
         .run();
     let latency = labeled.data.numeric_by_name("txn_avg_latency_ms").unwrap();
-    println!("simulated {} seconds of telemetry ({} attributes)", labeled.data.n_rows(), labeled.data.schema().len());
+    println!(
+        "simulated {} seconds of telemetry ({} attributes)",
+        labeled.data.n_rows(),
+        labeled.data.schema().len()
+    );
     println!(
         "average latency: normal ≈ {:.1} ms, during the anomaly ≈ {:.1} ms\n",
         mean(latency, labeled.normal_region().indices()),

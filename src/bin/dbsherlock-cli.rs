@@ -19,17 +19,61 @@ use std::process::ExitCode;
 
 use dbsherlock::core::{ModelRepository, Sherlock, SherlockParams};
 use dbsherlock::prelude::*;
-use dbsherlock::telemetry::{from_csv, render_plot, to_csv, PlotOptions};
+use dbsherlock::telemetry::{from_csv, from_csv_lossy, render_plot, to_csv, PlotOptions};
+
+/// CLI failures, each with its own exit code so scripts can tell *what*
+/// failed: bad invocation (1), unreadable/unparseable input (2), or a
+/// diagnosis that could not produce a result (3).
+#[derive(Debug)]
+enum CliError {
+    /// Wrong arguments; usage is printed.
+    Usage(String),
+    /// Input could not be read or parsed.
+    Parse(String),
+    /// Inputs were fine but the diagnosis step failed.
+    Diagnosis(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 1,
+            CliError::Parse(_) => 2,
+            CliError::Diagnosis(_) => 3,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Parse(m) | CliError::Diagnosis(m) => m,
+        }
+    }
+}
+
+/// Usage errors from plain strings.
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Usage(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::Usage(message.to_string())
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("error: {}", error.message());
+            if matches!(error, CliError::Usage(_)) {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(error.exit_code())
         }
     }
 }
@@ -50,9 +94,17 @@ commands:
   detect <csv>
            propose an abnormal region automatically (potential power + DBSCAN)
   anomalies
-           list the ten built-in anomaly classes";
+           list the ten built-in anomaly classes
 
-fn run(args: &[String]) -> Result<(), String> {
+options:
+  --strict fail on the first malformed CSV cell instead of repairing it
+           (by default, damaged telemetry is salvaged and each repair is
+           reported on stderr as `warning: ...`)
+
+exit codes:
+  0 success   1 usage error   2 unreadable/unparseable input   3 diagnosis failure";
+
+fn run(args: &[String]) -> Result<(), CliError> {
     let mut iter = args.iter();
     let command = iter.next().ok_or("missing command")?;
     let rest: Vec<&String> = iter.collect();
@@ -68,7 +120,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
 
@@ -77,36 +129,63 @@ fn option<'a>(args: &'a [&String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a.as_str() == name).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
 }
 
+/// Is the bare `--strict` flag present?
+fn strict_mode(args: &[&String]) -> bool {
+    args.iter().any(|a| a.as_str() == "--strict")
+}
+
 /// Parse `A..B` into a region.
-fn parse_region(spec: &str, n_rows: usize) -> Result<Region, String> {
-    let (a, b) = spec.split_once("..").ok_or_else(|| format!("bad region {spec:?}; expected A..B"))?;
+fn parse_region(spec: &str, n_rows: usize) -> Result<Region, CliError> {
+    let (a, b) =
+        spec.split_once("..").ok_or_else(|| format!("bad region {spec:?}; expected A..B"))?;
     let a: usize = a.trim().parse().map_err(|_| format!("bad region start {a:?}"))?;
     let b: usize = b.trim().parse().map_err(|_| format!("bad region end {b:?}"))?;
     if a >= b {
-        return Err(format!("empty region {spec:?}"));
+        return Err(format!("empty region {spec:?}").into());
     }
     Ok(Region::from_range(a..b.min(n_rows)))
 }
 
-fn load_dataset(path: &str) -> Result<Dataset, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    from_csv(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+/// Load a telemetry CSV. Lossy by default: malformed cells and rows are
+/// repaired or skipped, and each repair is reported on stderr. `--strict`
+/// restores fail-fast parsing.
+fn load_dataset(path: &str, strict: bool) -> Result<Dataset, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Parse(format!("cannot read {path}: {e}")))?;
+    if strict {
+        return from_csv(&text).map_err(|e| CliError::Parse(format!("cannot parse {path}: {e}")));
+    }
+    let (dataset, warnings) =
+        from_csv_lossy(&text).map_err(|e| CliError::Parse(format!("cannot parse {path}: {e}")))?;
+    for warning in &warnings {
+        eprintln!("warning: {path}: {warning}");
+    }
+    if !warnings.is_empty() {
+        eprintln!(
+            "warning: {path}: {} ingest repair(s); rerun with --strict to fail fast",
+            warnings.len()
+        );
+    }
+    Ok(dataset)
 }
 
-fn load_repository(path: &str) -> Result<ModelRepository, String> {
+fn load_repository(path: &str) -> Result<ModelRepository, CliError> {
     if !Path::new(path).exists() {
         return Ok(ModelRepository::new());
     }
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("cannot parse model repository {path}: {e}"))
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Parse(format!("cannot read {path}: {e}")))?;
+    serde_json::from_str(&text)
+        .map_err(|e| CliError::Parse(format!("cannot parse model repository {path}: {e}")))
 }
 
-fn save_repository(path: &str, repo: &ModelRepository) -> Result<(), String> {
-    let text = serde_json::to_string_pretty(repo).map_err(|e| e.to_string())?;
-    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+fn save_repository(path: &str, repo: &ModelRepository) -> Result<(), CliError> {
+    let text =
+        serde_json::to_string_pretty(repo).map_err(|e| CliError::Diagnosis(e.to_string()))?;
+    std::fs::write(path, text).map_err(|e| CliError::Diagnosis(format!("cannot write {path}: {e}")))
 }
 
-fn params_from(args: &[&String]) -> Result<SherlockParams, String> {
+fn params_from(args: &[&String]) -> Result<SherlockParams, CliError> {
     let mut params = SherlockParams::default();
     if let Some(theta) = option(args, "--theta") {
         params.theta = theta.parse().map_err(|_| format!("bad --theta {theta:?}"))?;
@@ -114,7 +193,7 @@ fn params_from(args: &[&String]) -> Result<SherlockParams, String> {
     Ok(params)
 }
 
-fn simulate(args: &[&String]) -> Result<(), String> {
+fn simulate(args: &[&String]) -> Result<(), CliError> {
     let kind_name = option(args, "--kind").ok_or("simulate requires --kind")?;
     let out = option(args, "--out").ok_or("simulate requires --out")?;
     let kind = AnomalyKind::ALL
@@ -131,7 +210,8 @@ fn simulate(args: &[&String]) -> Result<(), String> {
     let labeled = Scenario::new(WorkloadConfig::tpcc_default(), duration, seed)
         .with_injection(Injection::new(kind, start, len))
         .run();
-    std::fs::write(out, to_csv(&labeled.data)).map_err(|e| format!("cannot write {out}: {e}"))?;
+    std::fs::write(out, to_csv(&labeled.data))
+        .map_err(|e| CliError::Diagnosis(format!("cannot write {out}: {e}")))?;
     println!(
         "wrote {out}: {} seconds x {} attributes; injected {} over rows {:?}",
         labeled.data.n_rows(),
@@ -142,41 +222,35 @@ fn simulate(args: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
-fn plot(args: &[&String]) -> Result<(), String> {
+fn plot(args: &[&String]) -> Result<(), CliError> {
     let path = args.first().ok_or("plot requires a CSV path")?;
     let attr = args.get(1).ok_or("plot requires an attribute name")?;
-    let dataset = load_dataset(path)?;
-    let region = option(args, "--region")
-        .map(|spec| parse_region(spec, dataset.n_rows()))
-        .transpose()?;
+    let dataset = load_dataset(path, strict_mode(args))?;
+    let region =
+        option(args, "--region").map(|spec| parse_region(spec, dataset.n_rows())).transpose()?;
     let text = render_plot(&dataset, attr, region.as_ref(), &PlotOptions::default())
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Diagnosis(e.to_string()))?;
     print!("{text}");
     Ok(())
 }
 
-fn explain(args: &[&String]) -> Result<(), String> {
+fn explain(args: &[&String]) -> Result<(), CliError> {
     let path = args.first().ok_or("explain requires a CSV path")?;
-    let dataset = load_dataset(path)?;
+    let dataset = load_dataset(path, strict_mode(args))?;
     let abnormal_spec = option(args, "--abnormal").ok_or("explain requires --abnormal A..B")?;
     let abnormal = parse_region(abnormal_spec, dataset.n_rows())?;
-    let normal = option(args, "--normal")
-        .map(|spec| parse_region(spec, dataset.n_rows()))
-        .transpose()?;
+    let normal =
+        option(args, "--normal").map(|spec| parse_region(spec, dataset.n_rows())).transpose()?;
 
-    let mut sherlock = Sherlock::new(params_from(args)?)
-        .with_domain_knowledge(DomainKnowledge::mysql_linux());
+    let mut sherlock =
+        Sherlock::new(params_from(args)?).with_domain_knowledge(DomainKnowledge::mysql_linux());
     if let Some(models_path) = option(args, "--models") {
         *sherlock.repository_mut() = load_repository(models_path)?;
     }
     let explanation = sherlock.explain(&dataset, &abnormal, normal.as_ref());
     println!("predicates ({}):", explanation.predicates.len());
     for generated in &explanation.predicates {
-        println!(
-            "  {:<48} SP {:.2}",
-            generated.predicate.to_string(),
-            generated.separation_power
-        );
+        println!("  {:<48} SP {:.2}", generated.predicate.to_string(), generated.separation_power);
     }
     if explanation.causes.is_empty() {
         if !sherlock.repository().models().is_empty() {
@@ -191,11 +265,13 @@ fn explain(args: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
-fn feedback(args: &[&String]) -> Result<(), String> {
+fn feedback(args: &[&String]) -> Result<(), CliError> {
     let path = args.first().ok_or("feedback requires a CSV path")?;
-    let dataset = load_dataset(path)?;
-    let abnormal =
-        parse_region(option(args, "--abnormal").ok_or("feedback requires --abnormal")?, dataset.n_rows())?;
+    let dataset = load_dataset(path, strict_mode(args))?;
+    let abnormal = parse_region(
+        option(args, "--abnormal").ok_or("feedback requires --abnormal")?,
+        dataset.n_rows(),
+    )?;
     let cause = option(args, "--cause").ok_or("feedback requires --cause")?;
     let models_path = option(args, "--models").ok_or("feedback requires --models")?;
 
@@ -203,7 +279,9 @@ fn feedback(args: &[&String]) -> Result<(), String> {
     *sherlock.repository_mut() = load_repository(models_path)?;
     let explanation = sherlock.explain(&dataset, &abnormal, None);
     if explanation.predicates.is_empty() {
-        return Err("no predicates could be generated for that region".into());
+        return Err(CliError::Diagnosis(
+            "no predicates could be generated for that region".to_string(),
+        ));
     }
     sherlock.feedback(cause, &explanation.predicates);
     save_repository(models_path, sherlock.repository())?;
@@ -217,9 +295,9 @@ fn feedback(args: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
-fn detect(args: &[&String]) -> Result<(), String> {
+fn detect(args: &[&String]) -> Result<(), CliError> {
     let path = args.first().ok_or("detect requires a CSV path")?;
-    let dataset = load_dataset(path)?;
+    let dataset = load_dataset(path, strict_mode(args))?;
     let sherlock = Sherlock::new(SherlockParams::default());
     match sherlock.detect(&dataset) {
         Some(detection) => {

@@ -62,7 +62,5 @@ pub mod prelude {
         AnomalyKind, Benchmark, Injection, LabeledDataset, NoiseModel, Scenario, ServerConfig,
         WorkloadConfig,
     };
-    pub use dbsherlock_telemetry::{
-        AttributeKind, AttributeMeta, Dataset, Region, Schema, Value,
-    };
+    pub use dbsherlock_telemetry::{AttributeKind, AttributeMeta, Dataset, Region, Schema, Value};
 }

@@ -1,6 +1,8 @@
 //! Integration tests for the baselines against simulator data.
 
-use dbsherlock::baselines::{perfaugur_detect, PerfAugurConfig, PerfXplain, PerfXplainConfig, TrainingSet};
+use dbsherlock::baselines::{
+    perfaugur_detect, PerfAugurConfig, PerfXplain, PerfXplainConfig, TrainingSet,
+};
 use dbsherlock::prelude::*;
 
 fn incidents(kind: AnomalyKind, n: usize, base_seed: u64) -> Vec<LabeledDataset> {
@@ -30,8 +32,7 @@ fn perfxplain_learns_something_on_simulator_data() {
     let test = &incidents(AnomalyKind::CpuSaturation, 1, 77)[0];
     let predicted = model.predict(&test.data);
     let truth = test.abnormal_region();
-    let recall =
-        predicted.intersect(&truth).len() as f64 / truth.len() as f64;
+    let recall = predicted.intersect(&truth).len() as f64 / truth.len() as f64;
     assert!(recall > 0.3, "PerfXplain recall {recall}");
 }
 
@@ -50,12 +51,8 @@ fn dbsherlock_predicates_beat_perfxplain_on_subtle_anomalies() {
     let models: Vec<CausalModel> = train
         .iter()
         .map(|l| {
-            let preds = generate_predicates(
-                &l.data,
-                &l.abnormal_region(),
-                &l.normal_region(),
-                &params,
-            );
+            let preds =
+                generate_predicates(&l.data, &l.abnormal_region(), &l.normal_region(), &params);
             CausalModel::from_feedback("ppd", &preds)
         })
         .collect();

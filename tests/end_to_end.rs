@@ -13,13 +13,8 @@ fn every_anomaly_class_yields_predicates() {
     let sherlock = Sherlock::new(SherlockParams::default());
     for (i, kind) in AnomalyKind::ALL.into_iter().enumerate() {
         let labeled = incident(kind, 100 + i as u64);
-        let explanation =
-            sherlock.explain(&labeled.data, &labeled.abnormal_region(), None);
-        assert!(
-            !explanation.predicates.is_empty(),
-            "{} produced no predicates",
-            kind.name()
-        );
+        let explanation = sherlock.explain(&labeled.data, &labeled.abnormal_region(), None);
+        assert!(!explanation.predicates.is_empty(), "{} produced no predicates", kind.name());
         // Every emitted predicate must separate strongly on its own data.
         for generated in &explanation.predicates {
             assert!(
@@ -37,8 +32,7 @@ fn feedback_loop_names_recurring_causes() {
     let mut sherlock = Sherlock::new(SherlockParams::default());
     for (i, kind) in AnomalyKind::ALL.into_iter().enumerate() {
         let labeled = incident(kind, 300 + i as u64);
-        let explanation =
-            sherlock.explain(&labeled.data, &labeled.abnormal_region(), None);
+        let explanation = sherlock.explain(&labeled.data, &labeled.abnormal_region(), None);
         sherlock.feedback(kind.name(), &explanation.predicates);
     }
     assert_eq!(sherlock.repository().models().len(), 10);
@@ -46,8 +40,7 @@ fn feedback_loop_names_recurring_causes() {
     let mut correct = 0;
     for (i, kind) in AnomalyKind::ALL.into_iter().enumerate() {
         let labeled = incident(kind, 700 + i as u64);
-        let explanation =
-            sherlock.explain(&labeled.data, &labeled.abnormal_region(), None);
+        let explanation = sherlock.explain(&labeled.data, &labeled.abnormal_region(), None);
         if explanation.top_cause().map(|c| c.cause == kind.name()).unwrap_or(false) {
             correct += 1;
         }
@@ -89,8 +82,7 @@ fn merged_models_transfer_across_intensities() {
     let truth = test.abnormal_region();
     let merged_f1 = merged.f1(&test.data, &truth).f1;
     assert!(merged_f1 > 0.5, "merged F1 {merged_f1}");
-    let confidence =
-        merged.confidence(&test.data, &truth, &test.normal_region(), &params);
+    let confidence = merged.confidence(&test.data, &truth, &test.normal_region(), &params);
     assert!(confidence > 0.6, "merged confidence {confidence}");
 }
 

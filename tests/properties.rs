@@ -1,11 +1,14 @@
 //! Property-based tests over the core invariants (proptest).
 
+use dbsherlock::core::filter::filter_partitions;
 use dbsherlock::core::{
     generate_predicates, merge_predicates, partition_separation_power, separation_power,
     PartitionLabel, PartitionSpace, Predicate, SherlockParams,
 };
-use dbsherlock::core::filter::filter_partitions;
-use dbsherlock::telemetry::{stats, AttributeMeta, Dataset, Region, Schema, Value};
+use dbsherlock::telemetry::faults::{FaultKind, FaultPlan};
+use dbsherlock::telemetry::{
+    from_csv_lossy, stats, to_csv, AttributeMeta, Dataset, Region, Schema, Value,
+};
 use proptest::prelude::*;
 
 fn dataset_from(values: &[f64]) -> Dataset {
@@ -13,6 +16,18 @@ fn dataset_from(values: &[f64]) -> Dataset {
     let mut d = Dataset::new(schema);
     for (i, &v) in values.iter().enumerate() {
         d.push_row(i as f64, &[Value::Num(v)]).unwrap();
+    }
+    d
+}
+
+/// A two-numeric-column dataset with the 1 Hz timestamps every scenario
+/// trace uses (row `i` stamped `i`).
+fn two_column_dataset(a: &[f64], b: &[f64]) -> Dataset {
+    let schema =
+        Schema::from_attrs([AttributeMeta::numeric("a"), AttributeMeta::numeric("b")]).unwrap();
+    let mut d = Dataset::new(schema);
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        d.push_row(i as f64, &[Value::Num(x), Value::Num(y)]).unwrap();
     }
     d
 }
@@ -157,6 +172,57 @@ proptest! {
         for generated in generate_predicates(&d, &abnormal, &normal, &params) {
             prop_assert!(generated.separation_power >= params.min_separation_power);
             prop_assert!(generated.normalized_diff > params.theta);
+        }
+    }
+
+    /// Lossy ingestion is the identity on clean CSV: `from_csv_lossy ∘
+    /// to_csv` reproduces every row and value with zero warnings
+    /// (`fmt_num` uses shortest-round-trip float formatting).
+    #[test]
+    fn lossy_ingest_round_trips_clean_csv(
+        a in proptest::collection::vec(-1e12_f64..1e12, 1..80),
+        b in proptest::collection::vec(-1e-3_f64..1e-3, 1..80),
+    ) {
+        let n = a.len().min(b.len());
+        let d = two_column_dataset(&a[..n], &b[..n]);
+        let (back, warnings) = from_csv_lossy(&to_csv(&d)).unwrap();
+        prop_assert!(warnings.is_empty(), "clean input warned: {:?}", warnings);
+        prop_assert_eq!(back.n_rows(), d.n_rows());
+        prop_assert_eq!(back.schema().len(), d.schema().len());
+        prop_assert_eq!(back.timestamps(), d.timestamps());
+        for attr_id in 0..d.schema().len() {
+            prop_assert_eq!(
+                back.numeric(attr_id).unwrap(),
+                d.numeric(attr_id).unwrap()
+            );
+        }
+    }
+
+    /// Any single-fault plan at any intensity yields bytes that lossy
+    /// ingestion survives without panicking, never producing more rows
+    /// than corruption could have added (duplication at most doubles).
+    #[test]
+    fn lossy_ingest_survives_any_fault(
+        kind_idx in 0usize..FaultKind::ALL.len(),
+        intensity in 0.0_f64..=1.0,
+        seed in 0u64..1_000_000_000,
+        values in proptest::collection::vec(0.0_f64..1e6, 2..60),
+    ) {
+        let d = two_column_dataset(&values, &values);
+        let plan = FaultPlan::single(FaultKind::ALL[kind_idx], intensity, seed);
+        let (corrupted, report) = plan.apply_csv(&to_csv(&d));
+        if intensity > 0.0 {
+            let _ = report.total(); // report is well-formed even when empty
+        }
+        // Lossy ingestion must either salvage a dataset or return a typed
+        // error (e.g. everything truncated away) — never panic.
+        if let Ok((back, _warnings)) = from_csv_lossy(&corrupted) {
+            prop_assert!(
+                back.n_rows() <= 2 * d.n_rows(),
+                "{} rows from {} originals",
+                back.n_rows(),
+                d.n_rows()
+            );
         }
     }
 

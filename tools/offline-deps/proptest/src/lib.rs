@@ -1,0 +1,692 @@
+//! Offline stand-in for `proptest` used by this workspace's hermetic build.
+//!
+//! Implements the subset of the proptest API the workspace's property tests
+//! rely on: the `proptest!` macro (with `#![proptest_config(..)]`),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, range and tuple
+//! strategies, `collection::{vec, btree_set}`, `num::f64` class strategies
+//! with `|` unions, `bool::ANY`, and string strategies from (simplified)
+//! regex patterns. Cases are generated from a deterministic per-test PRNG;
+//! there is no shrinking — a failing case panics with the assertion message,
+//! which is enough signal for CI.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of random values of an associated type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Strategy producing a single fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Choice between two strategies with the same value type (built by the
+    /// `|` operator on the class strategies in [`crate::num`]).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Union<A, B>(pub A, pub B);
+
+    impl<A, B> Strategy for Union<A, B>
+    where
+        A: Strategy,
+        B: Strategy<Value = A::Value>,
+    {
+        type Value = A::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() & 1 == 0 {
+                self.0.sample(rng)
+            } else {
+                self.1.sample(rng)
+            }
+        }
+    }
+
+    impl<A, B, C> std::ops::BitOr<C> for Union<A, B> {
+        type Output = Union<Union<A, B>, C>;
+        fn bitor(self, rhs: C) -> Self::Output {
+            Union(self, rhs)
+        }
+    }
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let hop = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (self.start as i128 + hop) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let hop = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (start as i128 + hop) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_strategy_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.unit_f64() as $t * (self.end - self.start)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    start + rng.unit_f64() as $t * (end - start)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy_float!(f32, f64);
+
+    /// String strategy from a (simplified) regex character-class pattern:
+    /// `"[chars]{lo,hi}"`. Character classes support literal characters,
+    /// `a-z` ranges, and the `\PC` printable-unicode escape; anything else
+    /// falls back to free-form printable ASCII. This covers how the
+    /// workspace's tests use regex strategies (fuzzing labels), without a
+    /// full regex engine.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (pool, lo, hi) = parse_class_pattern(self);
+            let len = lo + (rng.next_u64() as usize) % (hi - lo + 1);
+            (0..len)
+                .map(|_| pool[(rng.next_u64() as usize) % pool.len()])
+                .collect()
+        }
+    }
+
+    fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+        let fallback_pool: Vec<char> = (' '..='~').collect();
+        let chars: Vec<char> = pattern.chars().collect();
+        if chars.first() != Some(&'[') {
+            return (fallback_pool, 0, 8);
+        }
+        let close = match chars.iter().position(|&c| c == ']') {
+            Some(i) => i,
+            None => return (fallback_pool, 0, 8),
+        };
+        let mut pool = Vec::new();
+        let mut i = 1;
+        while i < close {
+            match chars[i] {
+                '\\' if i + 1 < close => {
+                    match chars[i + 1] {
+                        // \PC — printable characters: sample ASCII printable
+                        // plus a few multi-byte code points to exercise UTF-8.
+                        'P' | 'p' => {
+                            pool.extend(' '..='~');
+                            pool.extend(['é', 'λ', '∞', '測', '😀']);
+                            // Skip the category letter following \P as well.
+                            if i + 2 < close {
+                                i += 1;
+                            }
+                        }
+                        'n' => pool.push('\n'),
+                        'r' => pool.push('\r'),
+                        't' => pool.push('\t'),
+                        other => pool.push(other),
+                    }
+                    i += 2;
+                }
+                c if i + 2 < close && chars[i + 1] == '-' => {
+                    let end = chars[i + 2];
+                    let (a, b) = (c as u32, end as u32);
+                    for code in a..=b {
+                        if let Some(ch) = char::from_u32(code) {
+                            pool.push(ch);
+                        }
+                    }
+                    i += 3;
+                }
+                c => {
+                    pool.push(c);
+                    i += 1;
+                }
+            }
+        }
+        if pool.is_empty() {
+            pool = fallback_pool;
+        }
+        // Parse the {lo,hi} / {n} repetition suffix.
+        let rest: String = chars[close + 1..].iter().collect();
+        let (lo, hi) = if let Some(body) = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+        {
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().unwrap_or(0),
+                    b.trim().parse().unwrap_or(8),
+                ),
+                None => {
+                    let n = body.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else if rest == "*" {
+            (0, 8)
+        } else if rest == "+" {
+            (1, 8)
+        } else {
+            (1, 1)
+        };
+        (pool, lo, hi.max(lo))
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+    }
+}
+
+pub mod test_runner {
+    /// Per-test deterministic PRNG (splitmix64 core).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed deterministically from the test name and a fixed salt.
+        pub fn for_test(name: &str) -> Self {
+            let mut state = 0x6a09_e667_f3bc_c908u64;
+            for b in name.bytes() {
+                state = state.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+            }
+            TestRng { state }
+        }
+
+        /// Next raw word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from [0, 1).
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Runner configuration (subset: case count).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; draw another case.
+        Reject,
+        /// `prop_assert!`-style failure with a rendered message.
+        Fail(String),
+    }
+}
+
+/// Numeric class strategies (`prop::num::f64::NORMAL | ...`).
+pub mod num {
+    /// `f64` class strategies.
+    pub mod f64 {
+        use crate::strategy::{Strategy, Union};
+        use crate::test_runner::TestRng;
+
+        /// Marker for one floating-point class.
+        #[derive(Clone, Copy, Debug)]
+        pub struct F64Class {
+            kind: Kind,
+        }
+
+        #[derive(Clone, Copy, Debug)]
+        enum Kind {
+            Normal,
+            Zero,
+            Negative,
+            Positive,
+            Any,
+        }
+
+        /// Normal (non-zero, non-subnormal, finite) values of either sign.
+        pub const NORMAL: F64Class = F64Class { kind: Kind::Normal };
+        /// Positive or negative zero.
+        pub const ZERO: F64Class = F64Class { kind: Kind::Zero };
+        /// Strictly negative finite values.
+        pub const NEGATIVE: F64Class = F64Class {
+            kind: Kind::Negative,
+        };
+        /// Strictly positive finite values.
+        pub const POSITIVE: F64Class = F64Class {
+            kind: Kind::Positive,
+        };
+        /// Any finite value.
+        pub const ANY: F64Class = F64Class { kind: Kind::Any };
+
+        fn normal_f64(rng: &mut TestRng) -> f64 {
+            // Clamp the exponent into the normal range [1, 2046] and clear
+            // NaN/Inf patterns; keeps full mantissa coverage.
+            loop {
+                let bits = rng.next_u64();
+                let exponent = ((bits >> 52) & 0x7ff).clamp(1, 2046);
+                let v = f64::from_bits((bits & !(0x7ffu64 << 52)) | (exponent << 52));
+                if v.is_normal() {
+                    return v;
+                }
+            }
+        }
+
+        impl Strategy for F64Class {
+            type Value = f64;
+            fn sample(&self, rng: &mut TestRng) -> f64 {
+                match self.kind {
+                    Kind::Normal => normal_f64(rng),
+                    Kind::Zero => {
+                        if rng.next_u64() & 1 == 0 {
+                            0.0
+                        } else {
+                            -0.0
+                        }
+                    }
+                    Kind::Negative => -normal_f64(rng).abs(),
+                    Kind::Positive => normal_f64(rng).abs(),
+                    Kind::Any => {
+                        if rng.next_u64() & 7 == 0 {
+                            0.0
+                        } else {
+                            normal_f64(rng)
+                        }
+                    }
+                }
+            }
+        }
+
+        impl<R> std::ops::BitOr<R> for F64Class {
+            type Output = Union<F64Class, R>;
+            fn bitor(self, rhs: R) -> Self::Output {
+                Union(self, rhs)
+            }
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy over both booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// Size specification for collection strategies.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + (rng.next_u64() as usize) % (self.hi - self.lo + 1)
+        }
+    }
+
+    /// Strategy for `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet`s (size is a target; duplicates collapse).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            // Bounded attempts: duplicates may keep the set under target size
+            // when the element domain is small, as in upstream proptest.
+            for _ in 0..n * 4 {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+
+    /// `proptest::collection::btree_set`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// `any::<bool>()`-style entry point for the few types we support.
+    pub fn any<T: DefaultStrategy>() -> T::Strategy {
+        T::default_strategy()
+    }
+
+    /// Types with a canonical default strategy.
+    pub trait DefaultStrategy {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+        /// Build the canonical strategy.
+        fn default_strategy() -> Self::Strategy;
+    }
+
+    impl DefaultStrategy for bool {
+        type Strategy = crate::bool::Any;
+        fn default_strategy() -> Self::Strategy {
+            crate::bool::ANY
+        }
+    }
+
+    impl DefaultStrategy for f64 {
+        type Strategy = crate::num::f64::F64Class;
+        fn default_strategy() -> Self::Strategy {
+            crate::num::f64::ANY
+        }
+    }
+}
+
+/// The property-test macro: wraps each `fn name(arg in strategy, ..) { .. }`
+/// into a `#[test]`-compatible function that draws deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).max(100);
+            while passed < config.cases {
+                attempts += 1;
+                if attempts > max_attempts {
+                    panic!(
+                        "proptest `{}`: too many rejected cases ({} passed of {} wanted)",
+                        stringify!($name), passed, config.cases
+                    );
+                }
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest `{}` failed: {}", stringify!($name), msg);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {:?} == {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {:?} == {:?}: {}", l, r, ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+}
+
+/// Reject the current case (draw fresh inputs) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in -2.0_f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(0u8..3, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 3));
+        }
+
+        #[test]
+        fn f64_classes(x in prop::num::f64::NORMAL | prop::num::f64::ZERO | prop::num::f64::NEGATIVE) {
+            prop_assert!(x.is_finite());
+        }
+
+        #[test]
+        fn string_pattern(s in "[a-c]{2,4}") {
+            prop_assert!((2..=4).contains(&s.chars().count()), "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::for_test("t");
+        let mut b = TestRng::for_test("t");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

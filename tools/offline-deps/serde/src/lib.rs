@@ -1,0 +1,462 @@
+//! Offline stand-in for `serde` used by this workspace's hermetic build.
+//!
+//! The build container has no registry access, so the workspace patches
+//! `serde`/`serde_derive`/`serde_json` to these functional mini
+//! implementations. Instead of serde's visitor architecture, the data model
+//! here is a concrete JSON tree ([`JsonValue`]): `Serialize` renders into it
+//! and `Deserialize` reads back out of it. The derive macro (in the sibling
+//! `serde_derive` crate) generates externally-tagged enum encodings and
+//! plain-object struct encodings compatible with what upstream serde_json
+//! would produce for the types in this workspace, so on-disk artifacts stay
+//! interchangeable with a registry build.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// The concrete data model values serialize into (re-exported by the
+/// `serde_json` stand-in as `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum JsonValue {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (stored as f64; large u64/i64 round through f64).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<JsonValue>),
+    /// JSON object with deterministic (sorted) key order.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Borrow as an object map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<JsonValue>> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (numbers only).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view of a number, when integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Signed view of a number, when integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Number(n)
+                if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 =>
+            {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Index into an object by key (`Null` when absent or not an object).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+/// Types renderable into the JSON data model.
+///
+/// Returns `None` when the value cannot be represented (the stand-in's
+/// equivalent of a serialization error).
+pub trait Serialize {
+    /// Render `self` into a [`JsonValue`].
+    fn to_json(&self) -> Option<JsonValue>;
+}
+
+/// Types reconstructible from the JSON data model.
+///
+/// Returns `None` on shape mismatch (the stand-in's equivalent of a
+/// deserialization error). The lifetime parameter mirrors upstream serde's
+/// signature so `for<'de> Deserialize<'de>` bounds keep compiling.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuild `Self` from a [`JsonValue`].
+    fn from_json(value: &JsonValue) -> Option<Self>;
+}
+
+/// Mirror of `serde::de` with the owned-deserialization marker trait.
+pub mod de {
+    /// Marker for types deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+/// Mirror of `serde::ser` (kept minimal; exists for path compatibility).
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Option<JsonValue> {
+                Some(JsonValue::Number(*self as f64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_json(value: &JsonValue) -> Option<Self> {
+                let n = value.as_f64()?;
+                if n.fract() != 0.0 {
+                    return None;
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return None;
+                }
+                Some(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Option<JsonValue> {
+        if self.is_finite() {
+            Some(JsonValue::Number(*self))
+        } else {
+            // Upstream serde_json renders non-finite floats as null.
+            Some(JsonValue::Null)
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_json(value: &JsonValue) -> Option<Self> {
+        match value {
+            JsonValue::Number(n) => Some(*n),
+            // Tolerate the null encoding of non-finite floats.
+            JsonValue::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Option<JsonValue> {
+        (*self as f64).to_json()
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_json(value: &JsonValue) -> Option<Self> {
+        f64::from_json(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Option<JsonValue> {
+        Some(JsonValue::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_json(value: &JsonValue) -> Option<Self> {
+        value.as_bool()
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Option<JsonValue> {
+        Some(JsonValue::String(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_json(value: &JsonValue) -> Option<Self> {
+        value.as_str().map(str::to_owned)
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Option<JsonValue> {
+        Some(JsonValue::String(self.to_owned()))
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Option<JsonValue> {
+        Some(JsonValue::String(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_json(value: &JsonValue) -> Option<Self> {
+        let s = value.as_str()?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Option<JsonValue> {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json(&self) -> Option<JsonValue> {
+        (**self).to_json()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_json(value: &JsonValue) -> Option<Self> {
+        T::from_json(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Option<JsonValue> {
+        match self {
+            None => Some(JsonValue::Null),
+            Some(v) => v.to_json(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_json(value: &JsonValue) -> Option<Self> {
+        match value {
+            JsonValue::Null => Some(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Option<JsonValue> {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Option<JsonValue> {
+        let mut out = Vec::with_capacity(self.len());
+        for item in self {
+            out.push(item.to_json()?);
+        }
+        Some(JsonValue::Array(out))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Option<JsonValue> {
+        self.as_slice().to_json()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_json(value: &JsonValue) -> Option<Self> {
+        let arr = value.as_array()?;
+        let mut out = Vec::with_capacity(arr.len());
+        for item in arr {
+            out.push(T::from_json(item)?);
+        }
+        Some(out)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_json(value: &JsonValue) -> Option<Self> {
+        let vec = Vec::<T>::from_json(value)?;
+        vec.try_into().ok()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> Option<JsonValue> {
+        Some(JsonValue::Array(vec![self.0.to_json()?, self.1.to_json()?]))
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn from_json(value: &JsonValue) -> Option<Self> {
+        let arr = value.as_array()?;
+        if arr.len() != 2 {
+            return None;
+        }
+        Some((A::from_json(&arr[0])?, B::from_json(&arr[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json(&self) -> Option<JsonValue> {
+        Some(JsonValue::Array(vec![
+            self.0.to_json()?,
+            self.1.to_json()?,
+            self.2.to_json()?,
+        ]))
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+    fn from_json(value: &JsonValue) -> Option<Self> {
+        let arr = value.as_array()?;
+        if arr.len() != 3 {
+            return None;
+        }
+        Some((
+            A::from_json(&arr[0])?,
+            B::from_json(&arr[1])?,
+            C::from_json(&arr[2])?,
+        ))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json(&self) -> Option<JsonValue> {
+        let mut out = BTreeMap::new();
+        for (k, v) in self {
+            out.insert(k.clone(), v.to_json()?);
+        }
+        Some(JsonValue::Object(out))
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn from_json(value: &JsonValue) -> Option<Self> {
+        let obj = value.as_object()?;
+        let mut out = BTreeMap::new();
+        for (k, v) in obj {
+            out.insert(k.clone(), V::from_json(v)?);
+        }
+        Some(out)
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn to_json(&self) -> Option<JsonValue> {
+        let mut out = BTreeMap::new();
+        for (k, v) in self {
+            out.insert(k.clone(), v.to_json()?);
+        }
+        Some(JsonValue::Object(out))
+    }
+}
+
+impl<'de, V: Deserialize<'de>, S: std::hash::BuildHasher + Default> Deserialize<'de>
+    for HashMap<String, V, S>
+{
+    fn from_json(value: &JsonValue) -> Option<Self> {
+        let obj = value.as_object()?;
+        let mut out = HashMap::with_capacity_and_hasher(obj.len(), S::default());
+        for (k, v) in obj {
+            out.insert(k.clone(), V::from_json(v)?);
+        }
+        Some(out)
+    }
+}
+
+impl Serialize for JsonValue {
+    fn to_json(&self) -> Option<JsonValue> {
+        Some(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for JsonValue {
+    fn from_json(value: &JsonValue) -> Option<Self> {
+        Some(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_json(&42u32.to_json().unwrap()), Some(42));
+        assert_eq!(f64::from_json(&1.5f64.to_json().unwrap()), Some(1.5));
+        assert_eq!(bool::from_json(&true.to_json().unwrap()), Some(true));
+        assert_eq!(
+            String::from_json(&"hi".to_string().to_json().unwrap()),
+            Some("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::NAN.to_json(), Some(JsonValue::Null));
+        assert!(f64::from_json(&JsonValue::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_json(&v.to_json().unwrap()), Some(v));
+        let opt: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_json(&opt.to_json().unwrap()), Some(None));
+        let pair = (3usize, "x".to_string());
+        assert_eq!(
+            <(usize, String)>::from_json(&pair.to_json().unwrap()),
+            Some(pair)
+        );
+    }
+
+    #[test]
+    fn out_of_range_ints_rejected() {
+        assert_eq!(u8::from_json(&JsonValue::Number(300.0)), None);
+        assert_eq!(u8::from_json(&JsonValue::Number(1.5)), None);
+    }
+}

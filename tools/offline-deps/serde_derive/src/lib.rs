@@ -1,0 +1,522 @@
+//! Offline stand-in for `serde_derive`: a dependency-free derive macro
+//! (no `syn`/`quote`) that parses structs and enums directly from the token
+//! stream and generates `Serialize`/`Deserialize` impls against the
+//! JSON-tree data model of the sibling `serde` stand-in.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! * structs with named fields (honouring `#[serde(skip)]`)
+//! * tuple structs (newtype structs serialize transparently)
+//! * unit structs
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   matching upstream serde_json's encoding)
+//!
+//! Generic items are intentionally unsupported and produce a compile error,
+//! so accidental reliance is caught at build time rather than silently
+//! misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed named field.
+struct Field {
+    name: String,
+    skipped: bool,
+}
+
+/// Shape of a struct body or enum-variant payload.
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "offline serde_derive does not support generic items (`{name}`)"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, shape })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("unexpected enum body: {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Collect field/variant attributes, reporting whether `#[serde(skip)]` is
+/// among them.
+fn collect_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skipped = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let is_serde =
+                    matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+                if is_serde {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        let has_skip = args.stream().into_iter().any(|t| {
+                            matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")
+                        });
+                        skipped |= has_skip;
+                    }
+                }
+                *i += 1;
+            }
+        }
+    }
+    skipped
+}
+
+/// Skip a type expression up to a top-level comma, tracking `<...>` nesting
+/// (generic-argument commas are not field separators).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skipped = collect_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        skip_type(&tokens, &mut i);
+        // Now at a top-level comma or end of stream.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field { name, skipped });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_tokens_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens_since_comma = true;
+    }
+    // Trailing comma does not introduce a field.
+    if !saw_tokens_since_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        collect_attributes(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < tokens.len()
+                && !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const IMPL_ATTRS: &str = "#[automatically_derived]\n#[allow(unused_variables, unused_mut, clippy::all)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => (name, gen_serialize_struct(name, shape)),
+        Item::Enum { name, variants } => (name, gen_serialize_enum(name, variants)),
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn to_json(&self) -> ::std::option::Option<::serde::JsonValue> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_serialize_struct(_name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => "::std::option::Option::Some(::serde::JsonValue::Null)".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_json(&self.{k})?"))
+                .collect();
+            format!(
+                "::std::option::Option::Some(::serde::JsonValue::Array(::std::vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let mut out = String::from(
+                "let mut _map = ::std::collections::BTreeMap::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skipped) {
+                out.push_str(&format!(
+                    "_map.insert(::std::string::String::from({:?}), \
+                     ::serde::Serialize::to_json(&self.{})?);\n",
+                    f.name, f.name
+                ));
+            }
+            out.push_str("::std::option::Option::Some(::serde::JsonValue::Object(_map))");
+            out
+        }
+    }
+}
+
+fn gen_serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            Shape::Unit => arms.push_str(&format!(
+                "{name}::{vname} => ::std::option::Option::Some(\
+                 ::serde::JsonValue::String(::std::string::String::from({vname:?}))),\n"
+            )),
+            Shape::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|k| format!("_f{k}")).collect();
+                let payload = if *n == 1 {
+                    "::serde::Serialize::to_json(_f0)?".to_string()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_json({b})?"))
+                        .collect();
+                    format!(
+                        "::serde::JsonValue::Array(::std::vec![{}])",
+                        items.join(", ")
+                    )
+                };
+                arms.push_str(&format!(
+                    "{name}::{vname}({}) => {{\n\
+                     let mut _map = ::std::collections::BTreeMap::new();\n\
+                     _map.insert(::std::string::String::from({vname:?}), {payload});\n\
+                     ::std::option::Option::Some(::serde::JsonValue::Object(_map))\n}}\n",
+                    binders.join(", ")
+                ));
+            }
+            Shape::Named(fields) => {
+                let binders: Vec<&str> =
+                    fields.iter().map(|f| f.name.as_str()).collect();
+                let mut inner = String::from(
+                    "let mut _inner = ::std::collections::BTreeMap::new();\n",
+                );
+                for f in fields.iter().filter(|f| !f.skipped) {
+                    inner.push_str(&format!(
+                        "_inner.insert(::std::string::String::from({:?}), \
+                         ::serde::Serialize::to_json({})?);\n",
+                        f.name, f.name
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {} }} => {{\n{inner}\
+                     let mut _map = ::std::collections::BTreeMap::new();\n\
+                     _map.insert(::std::string::String::from({vname:?}), \
+                     ::serde::JsonValue::Object(_inner));\n\
+                     ::std::option::Option::Some(::serde::JsonValue::Object(_map))\n}}\n",
+                    binders.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => (name, gen_deserialize_struct(name, shape)),
+        Item::Enum { name, variants } => (name, gen_deserialize_enum(name, variants)),
+    };
+    format!(
+        "{IMPL_ATTRS}impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_json(_value: &::serde::JsonValue) -> ::std::option::Option<Self> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize_struct(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => format!(
+            "match _value {{\n\
+             ::serde::JsonValue::Null => ::std::option::Option::Some({name}),\n\
+             _ => ::std::option::Option::None,\n}}"
+        ),
+        Shape::Tuple(1) => {
+            format!("::std::option::Option::Some({name}(::serde::Deserialize::from_json(_value)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_json(&_arr[{k}])?"))
+                .collect();
+            format!(
+                "let _arr = _value.as_array()?;\n\
+                 if _arr.len() != {n} {{ return ::std::option::Option::None; }}\n\
+                 ::std::option::Option::Some({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skipped {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{}: ::serde::Deserialize::from_json(_obj.get({:?})?)?,\n",
+                        f.name, f.name
+                    ));
+                }
+            }
+            format!(
+                "let _obj = _value.as_object()?;\n\
+                 ::std::option::Option::Some({name} {{\n{inits}}})"
+            )
+        }
+    }
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .collect();
+    let payload: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, Shape::Unit))
+        .collect();
+
+    let mut out = String::new();
+    if !unit.is_empty() {
+        let arms: String = unit
+            .iter()
+            .map(|v| {
+                format!(
+                    "{:?} => ::std::option::Option::Some({name}::{}),\n",
+                    v.name, v.name
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "if let ::std::option::Option::Some(_s) = _value.as_str() {{\n\
+             return match _s {{\n{arms}_ => ::std::option::Option::None,\n}};\n}}\n"
+        ));
+    }
+    if payload.is_empty() {
+        out.push_str("::std::option::Option::None");
+        return out;
+    }
+    let mut arms = String::new();
+    for v in &payload {
+        let vname = &v.name;
+        let body = match &v.shape {
+            Shape::Unit => unreachable!(),
+            Shape::Tuple(1) => format!(
+                "::std::option::Option::Some({name}::{vname}(\
+                 ::serde::Deserialize::from_json(_payload)?))"
+            ),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_json(&_arr[{k}])?"))
+                    .collect();
+                format!(
+                    "{{\nlet _arr = _payload.as_array()?;\n\
+                     if _arr.len() != {n} {{ return ::std::option::Option::None; }}\n\
+                     ::std::option::Option::Some({name}::{vname}({}))\n}}",
+                    items.join(", ")
+                )
+            }
+            Shape::Named(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    if f.skipped {
+                        inits.push_str(&format!(
+                            "{}: ::std::default::Default::default(),\n",
+                            f.name
+                        ));
+                    } else {
+                        inits.push_str(&format!(
+                            "{}: ::serde::Deserialize::from_json(_vobj.get({:?})?)?,\n",
+                            f.name, f.name
+                        ));
+                    }
+                }
+                format!(
+                    "{{\nlet _vobj = _payload.as_object()?;\n\
+                     ::std::option::Option::Some({name}::{vname} {{\n{inits}}})\n}}"
+                )
+            }
+        };
+        arms.push_str(&format!("{vname:?} => {body},\n"));
+    }
+    out.push_str(&format!(
+        "let _obj = _value.as_object()?;\n\
+         if _obj.len() != 1 {{ return ::std::option::Option::None; }}\n\
+         let (_tag, _payload) = _obj.iter().next()?;\n\
+         match _tag.as_str() {{\n{arms}_ => ::std::option::Option::None,\n}}"
+    ));
+    out
+}

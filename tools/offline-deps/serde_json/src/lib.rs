@@ -1,0 +1,585 @@
+//! Offline stand-in for `serde_json` used by this workspace's hermetic
+//! build. Provides a real JSON tree ([`Value`]), a spec-compliant text
+//! parser and printer (compact and pretty), `from_str`/`to_string`/
+//! `to_string_pretty`, and a `json!` macro covering the object/array/
+//! expression grammar the benches use. Backed by the JSON data model of the
+//! sibling `serde` stand-in, so `#[derive(Serialize, Deserialize)]` types
+//! round-trip through strings exactly like a registry build would.
+
+use serde::de::DeserializeOwned;
+pub use serde::JsonValue as Value;
+use serde::Serialize;
+
+/// Error type for serialization/deserialization failures.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Mirror of `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = value
+        .to_json()
+        .ok_or_else(|| Error("value cannot be represented as JSON".into()))?;
+    let mut out = String::new();
+    write_compact(&v, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` to a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = value
+        .to_json()
+        .ok_or_else(|| Error("value cannot be represented as JSON".into()))?;
+    let mut out = String::new();
+    write_pretty(&v, &mut out, 0);
+    Ok(out)
+}
+
+/// Deserialize a `T` from JSON text.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T> {
+    let value = parse(s)?;
+    T::from_json(&value).ok_or_else(|| Error("JSON shape does not match target type".into()))
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    value
+        .to_json()
+        .ok_or_else(|| Error("value cannot be represented as JSON".into()))
+}
+
+/// Convert a [`Value`] tree into a deserializable type.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T> {
+    T::from_json(&value).ok_or_else(|| Error("JSON shape does not match target type".into()))
+}
+
+/// Support function for the `json!` macro: best-effort conversion, `Null` on
+/// unrepresentable values (mirrors upstream's null-for-NaN behavior).
+#[doc(hidden)]
+pub fn __to_value_or_null<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json().unwrap_or(Value::Null)
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+/// Construct a [`Value`] from JSON-like syntax. Supports `null`, booleans,
+/// object literals with string keys, array literals, nesting, and arbitrary
+/// serializable Rust expressions in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ({ $($body:tt)* }) => {{
+        let mut _obj = ::std::collections::BTreeMap::new();
+        $crate::__json_object!(_obj; $($body)*);
+        $crate::Value::Object(_obj)
+    }};
+    ([ $($body:tt)* ]) => {{
+        let mut _arr: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::__json_array!(_arr; $($body)*);
+        $crate::Value::Array(_arr)
+    }};
+    ($expr:expr) => { $crate::__to_value_or_null(&$expr) };
+}
+
+/// Internal: munch `"key": value` entries into `$obj`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    ($obj:ident;) => {};
+    ($obj:ident; $key:literal : $($rest:tt)*) => {
+        $crate::__json_entry!($obj; $key; []; $($rest)*);
+    };
+}
+
+/// Internal: accumulate a value's tokens until a top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_entry {
+    // Nested object / array literal in value position (must be first tokens).
+    ($obj:ident; $key:literal; []; { $($body:tt)* } , $($rest:tt)*) => {
+        $obj.insert(::std::string::String::from($key), $crate::json!({ $($body)* }));
+        $crate::__json_object!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal; []; { $($body:tt)* }) => {
+        $obj.insert(::std::string::String::from($key), $crate::json!({ $($body)* }));
+    };
+    ($obj:ident; $key:literal; []; [ $($body:tt)* ] , $($rest:tt)*) => {
+        $obj.insert(::std::string::String::from($key), $crate::json!([ $($body)* ]));
+        $crate::__json_object!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal; []; [ $($body:tt)* ]) => {
+        $obj.insert(::std::string::String::from($key), $crate::json!([ $($body)* ]));
+    };
+    // A top-level comma terminates the accumulated expression.
+    ($obj:ident; $key:literal; [$($val:tt)*]; , $($rest:tt)*) => {
+        $obj.insert(::std::string::String::from($key), $crate::json!($($val)*));
+        $crate::__json_object!($obj; $($rest)*);
+    };
+    // End of input terminates the accumulated expression.
+    ($obj:ident; $key:literal; [$($val:tt)+];) => {
+        $obj.insert(::std::string::String::from($key), $crate::json!($($val)+));
+    };
+    // Otherwise: move one token into the accumulator.
+    ($obj:ident; $key:literal; [$($val:tt)*]; $head:tt $($rest:tt)*) => {
+        $crate::__json_entry!($obj; $key; [$($val)* $head]; $($rest)*);
+    };
+}
+
+/// Internal: munch array elements into `$arr`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    ($arr:ident;) => {};
+    ($arr:ident; $($rest:tt)+) => {
+        $crate::__json_elem!($arr; []; $($rest)+);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_elem {
+    ($arr:ident; []; { $($body:tt)* } , $($rest:tt)*) => {
+        $arr.push($crate::json!({ $($body)* }));
+        $crate::__json_array!($arr; $($rest)*);
+    };
+    ($arr:ident; []; { $($body:tt)* }) => {
+        $arr.push($crate::json!({ $($body)* }));
+    };
+    ($arr:ident; []; [ $($body:tt)* ] , $($rest:tt)*) => {
+        $arr.push($crate::json!([ $($body)* ]));
+        $crate::__json_array!($arr; $($rest)*);
+    };
+    ($arr:ident; []; [ $($body:tt)* ]) => {
+        $arr.push($crate::json!([ $($body)* ]));
+    };
+    ($arr:ident; [$($val:tt)*]; , $($rest:tt)*) => {
+        $arr.push($crate::json!($($val)*));
+        $crate::__json_array!($arr; $($rest)*);
+    };
+    ($arr:ident; [$($val:tt)+];) => {
+        $arr.push($crate::json!($($val)+));
+    };
+    ($arr:ident; [$($val:tt)*]; $head:tt $($rest:tt)*) => {
+        $crate::__json_elem!($arr; [$($val)* $head]; $($rest)*);
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, out: &mut String, indent: usize) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&"  ".repeat(indent + 1));
+                write_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&"  ".repeat(indent + 1));
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(val, out, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b' ' | b'\t' | b'\n' | b'\r')
+        ) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<()> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                expected as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error(format!("expected `{kw}` at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.eat(b'{')?;
+        let mut map = std::collections::BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error("invalid low surrogate".into()));
+                                }
+                                let code =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("invalid surrogate pair".into()))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| Error("invalid \\u escape".into()))?
+                            };
+                            out.push(c);
+                            // hex4 leaves pos after the 4 digits; skip the
+                            // shared `pos += 1` below.
+                            continue;
+                        }
+                        other => {
+                            return Err(Error(format!(
+                                "invalid escape {:?}",
+                                other.map(|c| c as char)
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded char.
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error("truncated \\u escape".into()));
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error("invalid \\u escape".into()))?;
+        let code =
+            u32::from_str_radix(digits, 16).map_err(|_| Error("invalid \\u escape".into()))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_print_round_trip() {
+        let text = r#"{"a": [1, 2.5, -3e2], "b": {"nested": true}, "c": null, "s": "x\"y\n"}"#;
+        let v: Value = from_str(text).unwrap();
+        let compact = to_string(&v).unwrap();
+        let v2: Value = from_str(&compact).unwrap();
+        assert_eq!(v, v2);
+        let pretty = to_string_pretty(&v).unwrap();
+        let v3: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, v3);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let n = 3usize;
+        let v = json!({
+            "lit": 1.5,
+            "expr": n + 1,
+            "nested": { "deep": [1, 2, 3] },
+            "arr": [ {"k": "v"}, null, true ],
+            "call": format!("x{n}"),
+        });
+        assert_eq!(v.get("expr").unwrap().as_u64(), Some(4));
+        assert_eq!(
+            v.get("nested").unwrap().get("deep").unwrap().as_array().unwrap().len(),
+            3
+        );
+        assert_eq!(v.get("call").unwrap().as_str(), Some("x3"));
+        assert_eq!(v.get("arr").unwrap().as_array().unwrap()[1], Value::Null);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v: Value = from_str(r#""é😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("é😀"));
+    }
+
+    #[test]
+    fn numbers_print_integers_cleanly() {
+        assert_eq!(to_string(&json!({"k": 42.0})).unwrap(), r#"{"k":42}"#);
+        assert_eq!(to_string(&1.25f64).unwrap(), "1.25");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+    }
+}
