@@ -89,9 +89,7 @@ pub fn detect(dataset: &Dataset, config: &PerfAugurConfig) -> Option<ScoredWindo
         let longest = max_len.min(n - start);
         for len in 1..=longest {
             let v = values[start + len - 1];
-            let pos = window
-                .binary_search_by(|w| w.partial_cmp(&v).unwrap_or(std::cmp::Ordering::Equal))
-                .unwrap_or_else(|e| e);
+            let pos = window.binary_search_by(|w| w.total_cmp(&v)).unwrap_or_else(|e| e);
             window.insert(pos, v);
             if len < config.min_window {
                 continue;

@@ -48,7 +48,7 @@ fn main() {
     let repeats = args.repeats_or(10, 50);
     let mut five: Vec<(AnomalyKind, Tally)> =
         AnomalyKind::ALL.iter().map(|&k| (k, Tally::default())).collect();
-    let mut rng = StdRng::seed_from_u64(0xF11);
+    let mut rng = StdRng::seed_from_u64(args.seed_or(0xF11));
     for _ in 0..repeats {
         let splits: Vec<(Vec<usize>, Vec<usize>)> =
             AnomalyKind::ALL.iter().map(|_| random_split(11, 5, &mut rng)).collect();

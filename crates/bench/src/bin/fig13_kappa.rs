@@ -49,10 +49,12 @@ fn prune_f1(kappa_t: f64, runs: usize, seed: u64) -> (f64, f64, f64) {
     }
     let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
     let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
-    let f1 = if precision + recall == 0.0 {
-        0.0
-    } else {
+    // `> 0.0` instead of `== 0.0`: guards the 0/0 case and maps a NaN
+    // precision/recall to 0.0 rather than propagating it.
+    let f1 = if precision + recall > 0.0 {
         2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
     };
     (precision * 100.0, recall * 100.0, f1 * 100.0)
 }

@@ -23,7 +23,7 @@ fn main() {
     let corpus = tpcc_corpus();
     let single_params = SherlockParams::default();
     let merged_params = SherlockParams::for_merging();
-    let mut rng = StdRng::seed_from_u64(0xF168);
+    let mut rng = StdRng::seed_from_u64(args.seed_or(0xF168));
 
     // (a) + (b): merged from 5, tested on the held-out 6.
     let mut merged_tally: Vec<(AnomalyKind, Tally)> =

@@ -10,7 +10,9 @@
 //! participant picks via a softmax whose temperature encodes competency.
 //! The no-predicates baseline is exact: uniform choice over four options.
 
-use dbsherlock_bench::{merged_model, of_kind, predicates_for, tpcc_corpus, write_json, Table};
+use dbsherlock_bench::{
+    merged_model, of_kind, predicates_for, tpcc_corpus, write_json, ExperimentArgs, Table,
+};
 use dbsherlock_core::{merge_predicates, CausalModel, GeneratedPredicate, SherlockParams};
 use dbsherlock_simulator::AnomalyKind;
 use rand::rngs::StdRng;
@@ -50,6 +52,7 @@ fn softmax_pick(scores: &[f64], temperature: f64, rng: &mut StdRng) -> usize {
 }
 
 fn main() {
+    let args = ExperimentArgs::parse();
     let corpus = tpcc_corpus();
     let params = SherlockParams::for_merging();
     // Signatures: merged models per class (the "knowledge" an experienced
@@ -75,7 +78,7 @@ fn main() {
         ("DB Research or DBA Experience", 13, Some(0.12)),
     ];
 
-    let mut rng = StdRng::seed_from_u64(0x0B5E);
+    let mut rng = StdRng::seed_from_u64(args.seed_or(0x0B5E));
     let mut table = Table::new(
         "Table 3 — simulated user study (10 questions, 4 choices each)",
         &["Background", "# participants", "Avg correct (out of 10)"],

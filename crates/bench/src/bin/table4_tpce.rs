@@ -44,8 +44,11 @@ fn evaluate(corpus: &[CorpusEntry], repeats: usize, seed: u64) -> Tally {
 fn main() {
     let args = ExperimentArgs::parse();
     let repeats = args.repeats_or(10, 50);
-    let tpcc = evaluate(tpcc_corpus(), repeats, 0x7AB4C);
-    let tpce = evaluate(tpce_corpus(), repeats, 0x7AB4E);
+    // The two corpora shuffle independently; `^ 0x2` keeps the default
+    // TPC-E seed (0x7AB4E) while still deriving both from one `--seed`.
+    let seed = args.seed_or(0x7AB4C);
+    let tpcc = evaluate(tpcc_corpus(), repeats, seed);
+    let tpce = evaluate(tpce_corpus(), repeats, seed ^ 0x2);
 
     let mut table = Table::new(
         "Table 4 — accuracy for TPC-C and TPC-E workloads (merged models, 5 datasets)",

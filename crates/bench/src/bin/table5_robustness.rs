@@ -8,7 +8,7 @@
 
 use dbsherlock_bench::{
     diagnose_with_region, merged_model, of_kind, pct, repository_from, tpcc_corpus, write_json,
-    Table, Tally,
+    ExperimentArgs, Table, Tally,
 };
 use dbsherlock_core::SherlockParams;
 use dbsherlock_simulator::AnomalyKind;
@@ -17,9 +17,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    let args = ExperimentArgs::parse();
     let corpus = tpcc_corpus();
     let params = SherlockParams::for_merging();
-    let mut rng = StdRng::seed_from_u64(0x7AB1E5);
+    let mut rng = StdRng::seed_from_u64(args.seed_or(0x7AB1E5));
 
     let configs: [(&str, f64); 4] = [
         ("Original", 0.0),
@@ -54,6 +55,7 @@ fn main() {
                 for _ in 0..trials {
                     let region: Region = if fraction.is_nan() {
                         truth.contiguous_subregion(2, |max| rng.random_range(0..=max))
+                    // sherlock-lint: allow(nan-unsafe): 0.0 is an exact sentinel from CONFIGS
                     } else if fraction == 0.0 {
                         truth.clone()
                     } else {

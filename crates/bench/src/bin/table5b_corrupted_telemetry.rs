@@ -118,6 +118,7 @@ fn main() {
                 "corruption_events": total_events,
                 "ingest_warnings": total_warnings,
             }));
+            // sherlock-lint: allow(nan-unsafe): 0.0 is an exact sentinel from the sweep grid
             if intensity == 0.0 && clean_top1.is_none() {
                 clean_top1 = Some(tally.top1_pct());
             }

@@ -43,6 +43,9 @@ pub fn merged_model(
 ) -> CausalModel {
     let models: Vec<CausalModel> =
         entries.iter().map(|e| single_model(e, params, domain)).collect();
+    // Documented precondition: callers pass at least one training dataset.
+    #[allow(clippy::expect_used)]
+    // sherlock-lint: allow(panic-path): documented precondition
     dbsherlock_core::merge_all(models.iter()).expect("at least one training dataset")
 }
 

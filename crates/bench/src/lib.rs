@@ -1,3 +1,7 @@
+// Experiment drivers share the library panic policy: helpers must not panic
+// outside tests (binaries under src/bin/ may). See sherlock-lint's panic-path rule.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 //! Experiment harness reproducing every table and figure of the DBSherlock
 //! paper (SIGMOD 2016).
 //!

@@ -91,20 +91,25 @@ pub fn write_json(name: &str, value: &Json) {
     }
 }
 
-/// Minimal experiment CLI: `--repeats N` to override the trial count and
-/// `--full` for the paper-scale counts.
+/// Minimal experiment CLI: `--repeats N` to override the trial count,
+/// `--full` for the paper-scale counts, and `--seed N` to override the
+/// experiment's RNG seed (every binary defaults to a fixed constant, so
+/// runs are reproducible either way — the flag exists to probe seed
+/// sensitivity without rebuilding).
 #[derive(Debug, Clone, Copy)]
 pub struct ExperimentArgs {
     /// Requested repeat count, if any.
     pub repeats: Option<usize>,
     /// Run at paper scale.
     pub full: bool,
+    /// Requested RNG seed, if any.
+    pub seed: Option<u64>,
 }
 
 impl ExperimentArgs {
     /// Parse from `std::env::args`.
     pub fn parse() -> Self {
-        let mut args = ExperimentArgs { repeats: None, full: false };
+        let mut args = ExperimentArgs { repeats: None, full: false, seed: None };
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
             match arg.as_str() {
@@ -112,6 +117,9 @@ impl ExperimentArgs {
                     args.repeats = iter.next().and_then(|v| v.parse().ok());
                 }
                 "--full" => args.full = true,
+                "--seed" => {
+                    args.seed = iter.next().and_then(|v| v.parse().ok());
+                }
                 other => eprintln!("warning: unknown argument {other:?} ignored"),
             }
         }
@@ -122,6 +130,12 @@ impl ExperimentArgs {
     /// paper-scale value, then the quick default.
     pub fn repeats_or(&self, quick: usize, full: usize) -> usize {
         self.repeats.unwrap_or(if self.full { full } else { quick })
+    }
+
+    /// Choose an RNG seed: explicit `--seed` wins over the binary's
+    /// deterministic default.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
     }
 }
 
@@ -151,11 +165,19 @@ mod tests {
 
     #[test]
     fn repeats_policy() {
-        let quick = ExperimentArgs { repeats: None, full: false };
+        let quick = ExperimentArgs { repeats: None, full: false, seed: None };
         assert_eq!(quick.repeats_or(10, 50), 10);
-        let full = ExperimentArgs { repeats: None, full: true };
+        let full = ExperimentArgs { repeats: None, full: true, seed: None };
         assert_eq!(full.repeats_or(10, 50), 50);
-        let explicit = ExperimentArgs { repeats: Some(3), full: true };
+        let explicit = ExperimentArgs { repeats: Some(3), full: true, seed: None };
         assert_eq!(explicit.repeats_or(10, 50), 3);
+    }
+
+    #[test]
+    fn seed_policy() {
+        let default = ExperimentArgs { repeats: None, full: false, seed: None };
+        assert_eq!(default.seed_or(0xF168), 0xF168);
+        let explicit = ExperimentArgs { repeats: None, full: false, seed: Some(7) };
+        assert_eq!(explicit.seed_or(0xF168), 7);
     }
 }

@@ -77,8 +77,10 @@ impl SynthInstance {
         let start = rng.random_range(0..=max_start);
         let abnormal = Region::from_range(start..start + config.abnormal_len);
 
+        // `var_name` enumerates distinct names, so construction cannot fail.
+        #[allow(clippy::expect_used)]
         let schema = Schema::from_attrs((0..config.k).map(|i| AttributeMeta::numeric(var_name(i))))
-            .expect("unique names");
+            .expect("unique names"); // sherlock-lint: allow(panic-path): static invariant
         let mut dataset = Dataset::new(schema);
         let mut values = vec![0.0_f64; config.k];
         for row in 0..config.n_rows {
@@ -95,6 +97,9 @@ impl SynthInstance {
                 };
             }
             let row_values: Vec<Value> = values.iter().map(|&v| Value::Num(v)).collect();
+            // Rows mirror the schema built above, so push cannot fail.
+            #[allow(clippy::expect_used)]
+            // sherlock-lint: allow(panic-path): static invariant
             dataset.push_row(row as f64, &row_values).expect("schema-consistent");
         }
 

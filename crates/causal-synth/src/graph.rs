@@ -117,6 +117,7 @@ mod tests {
         let g = CausalGraph::random(7, 0.9, &mut rng(4));
         for parents in &g.parents {
             for &(_, c) in parents {
+                // sherlock-lint: allow(nan-unsafe): exact integrality check is the point
                 assert!(c != 0.0 && c.abs() <= 10.0 && c == c.trunc());
             }
         }

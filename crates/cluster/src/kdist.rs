@@ -21,7 +21,7 @@ pub fn kdist_list(points: &[Point], k: usize) -> Vec<f64> {
             out.push(0.0);
             continue;
         }
-        dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        dists.sort_by(f64::total_cmp);
         let idx = k.saturating_sub(1).min(dists.len() - 1);
         out.push(dists[idx]);
     }

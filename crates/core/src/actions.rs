@@ -76,10 +76,7 @@ impl ActionLog {
         let mut entries: Vec<&Remediation> =
             self.actions.get(cause).map(|v| v.iter().collect()).unwrap_or_default();
         entries.sort_by(|a, b| {
-            b.success_rate()
-                .partial_cmp(&a.success_rate())
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(b.times_used.cmp(&a.times_used))
+            b.success_rate().total_cmp(&a.success_rate()).then(b.times_used.cmp(&a.times_used))
         });
         entries
     }

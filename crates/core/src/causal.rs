@@ -110,10 +110,12 @@ impl Accuracy {
         let tp = predicted.intersect(truth).len() as f64;
         let precision = if predicted.is_empty() { 0.0 } else { tp / predicted.len() as f64 };
         let recall = if truth.is_empty() { 0.0 } else { tp / truth.len() as f64 };
-        let f1 = if precision + recall == 0.0 {
-            0.0
-        } else {
+        // `> 0.0` instead of `== 0.0`: guards the 0/0 case and maps a NaN
+        // precision/recall to 0.0 rather than propagating it.
+        let f1 = if precision + recall > 0.0 {
             2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
         };
         Accuracy { precision, recall, f1 }
     }
@@ -178,9 +180,7 @@ impl ModelRepository {
                 confidence: m.confidence(dataset, abnormal, normal, params),
             })
             .collect();
-        ranked.sort_by(|a, b| {
-            b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        ranked.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
         ranked
     }
 }

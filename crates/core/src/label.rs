@@ -35,7 +35,11 @@ fn label_numeric(
     abnormal: &Region,
     normal: &Region,
 ) -> Vec<PartitionLabel> {
-    let values = dataset.numeric(attr_id).expect("numeric attribute");
+    // Type mismatch between space and attribute yields no labels rather
+    // than a panic; upstream generation never produces one.
+    let Ok(values) = dataset.numeric(attr_id) else {
+        return vec![PartitionLabel::Empty; space.len()];
+    };
     let mut abnormal_hits = vec![0usize; space.len()];
     let mut normal_hits = vec![0usize; space.len()];
     for &row in abnormal.indices() {
@@ -68,7 +72,10 @@ fn label_categorical(
     abnormal: &Region,
     normal: &Region,
 ) -> Vec<PartitionLabel> {
-    let (ids, _) = dataset.categorical(attr_id).expect("categorical attribute");
+    // Same graceful policy as `label_numeric` above.
+    let Ok((ids, _)) = dataset.categorical(attr_id) else {
+        return vec![PartitionLabel::Empty; space.len()];
+    };
     let mut abnormal_hits = vec![0usize; space.len()];
     let mut normal_hits = vec![0usize; space.len()];
     for &row in abnormal.indices() {

@@ -106,8 +106,8 @@ impl PartitionSpace {
     /// Lower bound `lb(P_j)` of numeric partition `j`.
     pub fn lower_bound(&self, j: usize) -> Option<f64> {
         match *self {
-            PartitionSpace::Numeric { min, .. } => {
-                Some(min + self.width().expect("numeric") * j as f64)
+            PartitionSpace::Numeric { min, max, r } => {
+                Some(min + (max - min) / r as f64 * j as f64)
             }
             PartitionSpace::Categorical { .. } => None,
         }
@@ -123,7 +123,7 @@ impl PartitionSpace {
     /// Eq. 3 — see `separation::partition_separation_power`).
     pub fn midpoint(&self, j: usize) -> Option<f64> {
         let lb = self.lower_bound(j)?;
-        Some(lb + self.width().expect("numeric") / 2.0)
+        Some(lb + self.width()? / 2.0)
     }
 }
 

@@ -1,0 +1,184 @@
+//! The suppression baseline: a checked-in snapshot of historical findings
+//! (`tools/lint-baseline.txt`) so the lint fails CI only on *new*
+//! violations while the old ones are burned down over time.
+//!
+//! Entries are keyed `(rule, path, trimmed source line)` rather than by
+//! line number, so unrelated edits that shift code up or down do not
+//! invalidate the baseline. The key is a multiset: two identical lines in
+//! one file need two baseline entries.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+use crate::rules::Finding;
+
+/// Multiset of suppressed findings.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    counts: HashMap<(String, String, String), usize>,
+}
+
+/// Result of diffing current findings against a baseline.
+#[derive(Debug, Default)]
+pub struct Diff<'a> {
+    /// Findings not covered by the baseline — these fail the build.
+    pub new: Vec<&'a Finding>,
+    /// Findings absorbed by the baseline.
+    pub baselined: usize,
+    /// Baseline entries that no longer match anything (fixed or moved) —
+    /// candidates for `--update-baseline`.
+    pub stale: usize,
+}
+
+impl Baseline {
+    /// Parse the baseline file. A missing file is an empty baseline, so the
+    /// tool bootstraps cleanly on a pristine tree.
+    pub fn load(path: &Path) -> io::Result<Baseline> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Baseline::default()),
+            Err(e) => return Err(e),
+        };
+        let mut counts = HashMap::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            let (Some(rule), Some(path), Some(snippet)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed baseline line (want rule\\tpath\\tsnippet): {line:?}"),
+                ));
+            };
+            *counts
+                .entry((rule.to_string(), path.to_string(), snippet.to_string()))
+                .or_insert(0) += 1;
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Serialize `findings` as a fresh baseline file (sorted, stable).
+    pub fn write(path: &Path, findings: &[Finding]) -> io::Result<()> {
+        let mut lines: Vec<String> = findings
+            .iter()
+            .map(|f| format!("{}\t{}\t{}", f.rule.name(), f.path, f.snippet))
+            .collect();
+        lines.sort();
+        let mut body = String::from(
+            "# sherlock-lint suppression baseline.\n\
+             # Frozen findings: the lint fails only on violations not listed here.\n\
+             # Regenerate with `cargo run -p sherlock-lint -- --update-baseline`.\n\
+             # Format: rule<TAB>path<TAB>trimmed source line.\n",
+        );
+        for line in &lines {
+            body.push_str(line);
+            body.push('\n');
+        }
+        std::fs::write(path, body)
+    }
+
+    /// Number of suppressed entries.
+    pub fn len(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// True when nothing is suppressed.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Split `findings` into new vs. baselined, consuming baseline
+    /// credit per (rule, path, snippet) occurrence.
+    pub fn diff<'a>(&self, findings: &'a [Finding]) -> Diff<'a> {
+        let mut remaining = self.counts.clone();
+        let mut diff = Diff::default();
+        for f in findings {
+            let key = (f.rule.name().to_string(), f.path.clone(), f.snippet.clone());
+            match remaining.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    diff.baselined += 1;
+                }
+                _ => diff.new.push(f),
+            }
+        }
+        diff.stale = remaining.values().sum();
+        diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleKind;
+
+    fn finding(rule: RuleKind, path: &str, line: u32, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            snippet: snippet.to_string(),
+            message: String::new(),
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sherlock-lint-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/baseline.txt")).unwrap();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_and_diff() {
+        let old = vec![
+            finding(RuleKind::PanicPath, "a.rs", 3, "x.unwrap();"),
+            finding(RuleKind::PanicPath, "a.rs", 9, "x.unwrap();"), // duplicate snippet
+            finding(RuleKind::NanUnsafe, "b.rs", 1, "a == 0.0"),
+        ];
+        let path = tmp("roundtrip.txt");
+        Baseline::write(&path, &old).unwrap();
+        let b = Baseline::load(&path).unwrap();
+        assert_eq!(b.len(), 3);
+
+        // Same findings, different line numbers: fully baselined.
+        let drifted = vec![
+            finding(RuleKind::PanicPath, "a.rs", 13, "x.unwrap();"),
+            finding(RuleKind::PanicPath, "a.rs", 29, "x.unwrap();"),
+            finding(RuleKind::NanUnsafe, "b.rs", 5, "a == 0.0"),
+        ];
+        let d = b.diff(&drifted);
+        assert!(d.new.is_empty());
+        assert_eq!(d.baselined, 3);
+        assert_eq!(d.stale, 0);
+
+        // A third identical unwrap exceeds the multiset credit.
+        let mut more = drifted.clone();
+        more.push(finding(RuleKind::PanicPath, "a.rs", 40, "x.unwrap();"));
+        let d = b.diff(&more);
+        assert_eq!(d.new.len(), 1);
+
+        // Fixing a finding leaves a stale entry.
+        let fixed = &drifted[..2];
+        let d = b.diff(fixed);
+        assert!(d.new.is_empty());
+        assert_eq!(d.stale, 1);
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        let path = tmp("malformed.txt");
+        std::fs::write(&path, "panic-path only-two-fields\n").unwrap();
+        assert!(Baseline::load(&path).is_err());
+    }
+}

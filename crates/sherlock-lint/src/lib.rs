@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+// The analyzer polices panic-paths in the rest of the workspace, so it holds
+// itself to the same bar: no unwrap/expect in library code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+//! `sherlock-lint` — a zero-dependency static analyzer for domain invariants
+//! the ordinary toolchain cannot express.
+//!
+//! DBSherlock's diagnosis quality rests on numerically delicate code:
+//! predicate partitioning, the Eq. 3 confidence score, DBSCAN, and the
+//! mutual-information filter. A single NaN-unsafe comparison, panicking
+//! index, or unseeded RNG silently corrupts diagnoses or breaks bench
+//! reproducibility. `clippy` covers the generic half of that surface; this
+//! crate covers the domain half with four rules (see [`rules::RuleKind`]):
+//!
+//! * `panic-path` — `unwrap()` / `expect()` / `panic!` / `unreachable!` /
+//!   `[]`-indexing in non-`#[cfg(test)]` library code.
+//! * `nan-unsafe` — float `==` / `!=`, `partial_cmp(..).unwrap()`, and bare
+//!   `partial_cmp` inside sort comparators (use `f64::total_cmp`).
+//! * `unseeded-rng` — `thread_rng()` / `from_entropy()` / other
+//!   entropy-seeded RNG construction (benches must be reproducible).
+//! * `deny-header` — every crate root must carry the
+//!   `#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]`
+//!   header so clippy enforces the panic policy at compile time.
+//!
+//! The build is hermetic, so everything here is hand-rolled on `std`: a
+//! token-level Rust lexer ([`lexer`]) instead of `syn`, a tiny JSON emitter
+//! instead of `serde`, and a plain-text suppression baseline
+//! ([`baseline`], checked in at `tools/lint-baseline.txt`) that freezes
+//! historical findings so CI fails only on *new* violations.
+//!
+//! Per-line escapes: end a line (or the line above) with
+//! `// sherlock-lint: allow(<rule>[, <rule>])` to acknowledge a finding in
+//! place, with the justification in the same comment.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use baseline::Baseline;
+pub use rules::{FileClass, Finding, RuleKind};
+pub use workspace::{scan_workspace, ScanConfig};

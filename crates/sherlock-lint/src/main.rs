@@ -1,0 +1,225 @@
+//! `sherlock-lint` CLI.
+//!
+//! ```text
+//! cargo run -p sherlock-lint --                 # lint the workspace vs the baseline
+//! cargo run -p sherlock-lint -- --update-baseline
+//! cargo run -p sherlock-lint -- --json
+//! cargo run -p sherlock-lint -- --rule nan-unsafe --no-baseline
+//! ```
+//!
+//! Exit codes: `0` clean, `1` new findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sherlock_lint::rules::RuleKind;
+use sherlock_lint::workspace::{find_workspace_root, scan_workspace, ScanConfig};
+use sherlock_lint::Baseline;
+
+const USAGE: &str = "\
+sherlock-lint — domain-invariant static analyzer for the dbsherlock workspace
+
+USAGE:
+    sherlock-lint [OPTIONS]
+
+OPTIONS:
+    --root <DIR>        workspace root (default: auto-detected from cwd)
+    --baseline <FILE>   baseline file (default: <root>/tools/lint-baseline.txt)
+    --update-baseline   rewrite the baseline to the current findings and exit 0
+    --no-baseline       report every finding, ignoring the baseline
+    --rule <NAME>       run only this rule (repeatable); default: all rules
+    --json              machine-readable output
+    --list-rules        print the rule names and exit
+    -h, --help          this help
+";
+
+struct Args {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    no_baseline: bool,
+    rules: Vec<RuleKind>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        root: None,
+        baseline: None,
+        update_baseline: false,
+        no_baseline: false,
+        rules: Vec::new(),
+        json: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(iter.next().ok_or("--root needs a value")?));
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(iter.next().ok_or("--baseline needs a value")?));
+            }
+            "--update-baseline" => args.update_baseline = true,
+            "--no-baseline" => args.no_baseline = true,
+            "--json" => args.json = true,
+            "--rule" => {
+                let name = iter.next().ok_or("--rule needs a value")?;
+                let rule = RuleKind::from_name(&name)
+                    .ok_or_else(|| format!("unknown rule {name:?}; try --list-rules"))?;
+                args.rules.push(rule);
+            }
+            "--list-rules" => {
+                for rule in RuleKind::ALL {
+                    println!("{rule}");
+                }
+                return Ok(None);
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Args) -> Result<bool, String> {
+    let root = match args.root {
+        Some(root) => root,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("no workspace root found above the current directory; pass --root")?
+        }
+    };
+    let rules = if args.rules.is_empty() { RuleKind::ALL.to_vec() } else { args.rules.clone() };
+    let config = ScanConfig { root: root.clone(), rules };
+    let findings =
+        scan_workspace(&config).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+
+    let baseline_path =
+        args.baseline.unwrap_or_else(|| root.join("tools").join("lint-baseline.txt"));
+
+    if args.update_baseline {
+        Baseline::write(&baseline_path, &findings)
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        eprintln!(
+            "baseline updated: {} findings frozen in {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    let baseline = if args.no_baseline {
+        Baseline::default()
+    } else {
+        Baseline::load(&baseline_path)
+            .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?
+    };
+    let diff = baseline.diff(&findings);
+
+    if args.json {
+        print!("{}", render_json(&diff, &findings));
+    } else {
+        for finding in &diff.new {
+            println!("{}", finding.render());
+        }
+        eprintln!(
+            "sherlock-lint: {} finding(s): {} new, {} baselined, {} stale baseline entr{}",
+            findings.len(),
+            diff.new.len(),
+            diff.baselined,
+            diff.stale,
+            if diff.stale == 1 { "y" } else { "ies" },
+        );
+        if diff.stale > 0 {
+            eprintln!(
+                "sherlock-lint: run with --update-baseline to drop entries for fixed findings"
+            );
+        }
+        if !diff.new.is_empty() {
+            eprintln!(
+                "sherlock-lint: fix the new findings, add a `// sherlock-lint: allow(<rule>): \
+                 <why>` escape, or (last resort) --update-baseline"
+            );
+        }
+    }
+    Ok(diff.new.is_empty())
+}
+
+/// Hand-rolled JSON (the crate is dependency-free by design).
+fn render_json(diff: &sherlock_lint::baseline::Diff<'_>, all: &[sherlock_lint::Finding]) -> String {
+    let mut out = String::from("{\n  \"new\": [\n");
+    for (i, f) in diff.new.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!(
+            "\"rule\": {}, \"path\": {}, \"line\": {}, \"snippet\": {}, \"message\": {}",
+            json_str(f.rule.name()),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.snippet),
+            json_str(&f.message),
+        ));
+        out.push('}');
+        if i + 1 < diff.new.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"total\": {}, \"new_count\": {}, \"baselined\": {}, \"stale\": {}\n}}\n",
+        all.len(),
+        diff.new.len(),
+        diff.baselined,
+        diff.stale
+    ));
+    out
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,157 @@
+//! Workspace traversal and per-file rule scoping.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{check_deny_header, scan_source, FileClass, Finding, RuleKind};
+
+/// Directory names never scanned, wherever they appear.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    ".git",
+    ".claude",
+    // Vendored stand-ins for crates.io deps: external code, not ours.
+    "offline-deps",
+    // Lint-test fixtures intentionally contain violations.
+    "fixtures",
+];
+
+/// What to scan and with which rules.
+#[derive(Debug, Clone)]
+pub struct ScanConfig {
+    /// Workspace root (the directory holding the root `Cargo.toml`).
+    pub root: PathBuf,
+    /// Rules to run.
+    pub rules: Vec<RuleKind>,
+}
+
+impl ScanConfig {
+    /// All rules over `root`.
+    pub fn all_rules(root: PathBuf) -> Self {
+        ScanConfig { root, rules: RuleKind::ALL.to_vec() }
+    }
+}
+
+/// Classify a workspace-relative path (forward slashes). `None` ⇒ skip.
+///
+/// * `Lib` — library code of a workspace crate (`crates/*/src/**`, root
+///   `src/**`), excluding `src/bin/` and `main.rs`: the full rule set.
+/// * `Other` — tests, benches, examples, binaries: `panic-path` waived.
+pub fn classify(rel: &str) -> Option<FileClass> {
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    let in_crate_src =
+        (rel.starts_with("crates/") && rel.contains("/src/")) || rel.starts_with("src/");
+    let is_binary = rel.contains("/bin/") || rel.ends_with("/main.rs") || rel == "src/main.rs";
+    if in_crate_src && !is_binary {
+        Some(FileClass::Lib)
+    } else {
+        Some(FileClass::Other)
+    }
+}
+
+/// Is `rel` a crate root that must carry the clippy deny-header?
+/// Covers every `crates/*/src/lib.rs` plus the workspace facade `src/lib.rs`.
+pub fn needs_deny_header(rel: &str) -> bool {
+    if rel == "src/lib.rs" {
+        return true;
+    }
+    let mut parts = rel.split('/');
+    matches!(
+        (parts.next(), parts.next(), parts.next(), parts.next(), parts.next()),
+        (Some("crates"), Some(_), Some("src"), Some("lib.rs"), None)
+    )
+}
+
+/// Walk the workspace and run the configured rules over every `.rs` file.
+/// Findings come back sorted by path, line, rule.
+pub fn scan_workspace(config: &ScanConfig) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(&config.root, &config.root, &mut files)?;
+    files.sort();
+
+    let mut findings = Vec::new();
+    for rel in &files {
+        let Some(class) = classify(rel) else { continue };
+        let source = std::fs::read_to_string(config.root.join(rel))?;
+        findings.extend(scan_source(rel, &source, class, &config.rules));
+        if config.rules.contains(&RuleKind::DenyHeader) && needs_deny_header(rel) {
+            findings.extend(check_deny_header(rel, &source));
+        }
+    }
+    findings
+        .sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)).then(a.rule.cmp(&b.rule)));
+    Ok(findings)
+}
+
+/// Recursively collect workspace-relative forward-slash paths of `.rs` files.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root: walk up from `start` to the first directory
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify("crates/core/src/predicate.rs"), Some(FileClass::Lib));
+        assert_eq!(classify("src/lib.rs"), Some(FileClass::Lib));
+        assert_eq!(classify("crates/bench/src/bin/run_all.rs"), Some(FileClass::Other));
+        assert_eq!(classify("src/bin/dbsherlock-cli.rs"), Some(FileClass::Other));
+        assert_eq!(classify("crates/sherlock-lint/src/main.rs"), Some(FileClass::Other));
+        assert_eq!(classify("crates/core/tests/integration.rs"), Some(FileClass::Other));
+        assert_eq!(classify("tests/end_to_end.rs"), Some(FileClass::Other));
+        assert_eq!(classify("examples/quickstart.rs"), Some(FileClass::Other));
+        assert_eq!(classify("README.md"), None);
+    }
+
+    #[test]
+    fn deny_header_scope() {
+        assert!(needs_deny_header("crates/core/src/lib.rs"));
+        assert!(needs_deny_header("src/lib.rs"));
+        assert!(!needs_deny_header("crates/core/src/predicate.rs"));
+        assert!(!needs_deny_header("crates/core/src/sub/lib.rs"));
+        assert!(!needs_deny_header("tests/lib.rs"));
+    }
+
+    #[test]
+    fn finds_own_workspace_root() {
+        let here = std::env::current_dir().unwrap();
+        let root = find_workspace_root(&here).expect("workspace root");
+        assert!(root.join("crates").is_dir());
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: per-line and file-level allow escapes.
+
+pub fn same_line(v: Option<u32>) -> u32 {
+    v.unwrap() // sherlock-lint: allow(panic-path): fixture shows same-line escape
+}
+
+pub fn line_above(v: Option<u32>) -> u32 {
+    // sherlock-lint: allow(panic-path): fixture shows line-above escape
+    v.unwrap()
+}
+
+pub fn wrong_rule(v: Option<u32>) -> u32 {
+    // sherlock-lint: allow(nan-unsafe): names the wrong rule, so it does not suppress
+    v.unwrap() // REAL: must be reported despite the escape above
+}
+
+pub fn unescaped(v: Option<u32>) -> u32 {
+    v.unwrap() // REAL: must be reported on this line
+}

@@ -1,0 +1,20 @@
+//! Lexer fixture: char literals containing `"` or `[` must not desync the
+//! lexer into treating following code as a string or an index expression.
+
+pub fn chars(input: &str) -> usize {
+    let quote = '"';
+    let bracket = '[';
+    let escaped = '\'';
+    let newline = '\n';
+    // A lifetime, to check `'a` is not parsed as an unterminated char.
+    fn generic<'a>(s: &'a str) -> &'a str {
+        s
+    }
+    let _ = generic(input);
+    input.matches([quote, bracket, escaped, newline]).count()
+}
+
+pub fn real_index(v: &[u32]) -> u32 {
+    let _ = '[';
+    v[0] // REAL: slice indexing must be reported on this line
+}

@@ -1,0 +1,28 @@
+//! Fixture: one specimen of every nan-unsafe pattern.
+
+pub fn float_eq(a: f64) -> bool {
+    a == 0.5
+}
+
+pub fn float_ne(a: f64) -> bool {
+    a != 0.0
+}
+
+pub fn nan_const_compare(a: f64) -> bool {
+    a == f64::NAN
+}
+
+pub fn partial_cmp_unwrap(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap()
+}
+
+pub fn sort_with_partial_cmp(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn fine(v: &mut Vec<f64>, a: f64, b: f64) -> bool {
+    // total_cmp and integer comparisons are all fine.
+    v.sort_by(f64::total_cmp);
+    let ints = 1 == 2;
+    ints && a.total_cmp(&b).is_eq()
+}

@@ -1,0 +1,13 @@
+//! Lexer fixture: nested block comments swallow panicky text; code after
+//! the comment closes is live again.
+
+/* outer /* inner .unwrap() */ still a comment: panic!("no") */
+pub fn after_comments(v: Option<u8>) -> u8 {
+    /* one more /* nested */ level */
+    v.expect("boom") // REAL: must be reported on this line
+}
+
+// A line comment with .unwrap() and panic!() changes nothing.
+pub fn clean() -> u8 {
+    0
+}

@@ -1,0 +1,31 @@
+//! Fixture: one specimen of every panic-path pattern.
+
+pub fn unwrap_site(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn expect_site(v: Option<u32>) -> u32 {
+    v.expect("nope")
+}
+
+pub fn panic_site(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+pub fn unreachable_site(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn index_site(v: &[u32], m: &std::collections::HashMap<u32, u32>) -> u32 {
+    v[3] + m[&7]
+}
+
+pub fn not_flagged(v: Option<u32>) -> u32 {
+    // unwrap_or / unwrap_or_default / unwrap_or_else are all fine.
+    v.unwrap_or(0) + v.unwrap_or_default() + v.unwrap_or_else(|| 1)
+}

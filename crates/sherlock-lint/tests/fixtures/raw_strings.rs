@@ -1,0 +1,16 @@
+//! Lexer fixture: panicky-looking text inside raw strings must not fire,
+//! while real calls after them still must.
+
+pub fn raw_strings() -> String {
+    // None of these are real calls — they live inside string literals.
+    let a = r"x.unwrap() and panic!(now)";
+    let b = r#"embedded "quote" then .expect("boom")"#;
+    let c = r##"hash depth two: r#"inner"# .unwrap()"##;
+    let d = "escaped \" quote then .unwrap()";
+    format!("{a}{b}{c}{d}")
+}
+
+pub fn real_call_after_raw(v: Option<u32>) -> u32 {
+    let _decoy = r##"a "# inside needs two hashes"##;
+    v.unwrap() // REAL: must be reported on this line
+}

@@ -1,0 +1,21 @@
+//! Fixture: one specimen of every unseeded-rng pattern.
+
+pub fn thread_rng_site() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn from_entropy_site() -> u32 {
+    let mut rng = rand::rngs::StdRng::from_entropy();
+    rng.gen()
+}
+
+pub fn free_fn_sites() -> (u32, f64) {
+    (rand::random(), rand::rng().random())
+}
+
+pub fn fine(seed: u64) -> u32 {
+    // Explicitly seeded construction is the sanctioned pattern.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    rng.random()
+}

@@ -1,0 +1,149 @@
+//! Integration tests: run the rule engine over the checked-in fixture
+//! files and assert that exactly the `REAL`-marked lines are reported.
+//!
+//! The fixtures live under `tests/fixtures/` (excluded from workspace
+//! scans by `workspace::SKIP_DIRS`), so they can contain deliberate
+//! violations without polluting the real baseline.
+
+use std::path::Path;
+
+use sherlock_lint::{
+    baseline::Baseline,
+    rules::{check_deny_header, scan_source, FileClass, Finding, RuleKind},
+};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn scan_fixture(name: &str, class: FileClass) -> (String, Vec<Finding>) {
+    let source = fixture(name);
+    let findings = scan_source(name, &source, class, &RuleKind::ALL);
+    (source, findings)
+}
+
+/// Every finding must anchor to a line carrying the `REAL` marker, and
+/// every marked line must be found — so fixtures document themselves.
+fn assert_matches_markers(source: &str, findings: &[Finding], rule: RuleKind) {
+    let marked: Vec<u32> = source
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("// REAL"))
+        .map(|(i, _)| i as u32 + 1)
+        .collect();
+    let mut reported: Vec<u32> =
+        findings.iter().filter(|f| f.rule == rule).map(|f| f.line).collect();
+    reported.sort_unstable();
+    reported.dedup();
+    assert_eq!(reported, marked, "findings: {findings:#?}");
+}
+
+#[test]
+fn raw_strings_do_not_hide_or_fake_findings() {
+    let (source, findings) = scan_fixture("raw_strings.rs", FileClass::Lib);
+    assert_matches_markers(&source, &findings, RuleKind::PanicPath);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+}
+
+#[test]
+fn nested_block_comments_are_skipped() {
+    let (source, findings) = scan_fixture("nested_comments.rs", FileClass::Lib);
+    assert_matches_markers(&source, &findings, RuleKind::PanicPath);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+}
+
+#[test]
+fn char_literals_do_not_desync_the_lexer() {
+    let (source, findings) = scan_fixture("char_literals.rs", FileClass::Lib);
+    assert_matches_markers(&source, &findings, RuleKind::PanicPath);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+}
+
+#[test]
+fn cfg_test_items_are_exempt_but_shipped_code_is_not() {
+    let (source, findings) = scan_fixture("cfg_test_module.rs", FileClass::Lib);
+    assert_matches_markers(&source, &findings, RuleKind::PanicPath);
+    // before(), cfg(not(test)) mod, after() — the two test mods are exempt.
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+}
+
+#[test]
+fn panic_path_catches_every_pattern() {
+    let (source, findings) = scan_fixture("panic_path.rs", FileClass::Lib);
+    assert!(findings.iter().all(|f| f.rule == RuleKind::PanicPath), "{findings:#?}");
+    // unwrap, expect, panic!, unreachable!, v[3], m[&7].
+    assert_eq!(findings.len(), 6, "{findings:#?}");
+    // unwrap_or / unwrap_or_else / unwrap_or_default never fire.
+    assert!(findings.iter().all(|f| !f.snippet.contains("unwrap_or")), "{findings:#?}");
+    let _ = source;
+}
+
+#[test]
+fn panic_path_is_waived_outside_lib_code() {
+    let (_, findings) = scan_fixture("panic_path.rs", FileClass::Other);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn nan_unsafe_catches_every_pattern() {
+    let (_, findings) = scan_fixture("nan_unsafe.rs", FileClass::Other);
+    assert!(findings.iter().all(|f| f.rule == RuleKind::NanUnsafe), "{findings:#?}");
+    // ==, !=, == f64::NAN, partial_cmp().unwrap(), partial_cmp in sort_by.
+    assert_eq!(findings.len(), 5, "{findings:#?}");
+    assert!(findings.iter().all(|f| !f.snippet.contains("total_cmp")), "{findings:#?}");
+}
+
+#[test]
+fn unseeded_rng_catches_every_pattern() {
+    let (_, findings) = scan_fixture("unseeded_rng.rs", FileClass::Other);
+    assert!(findings.iter().all(|f| f.rule == RuleKind::UnseededRng), "{findings:#?}");
+    // thread_rng, from_entropy, rand::random, rand::rng.
+    assert_eq!(findings.len(), 4, "{findings:#?}");
+    assert!(findings.iter().all(|f| !f.snippet.contains("seed_from_u64")), "{findings:#?}");
+}
+
+#[test]
+fn allow_escapes_suppress_only_the_named_rule() {
+    let (source, findings) = scan_fixture("allow_escape.rs", FileClass::Lib);
+    assert_matches_markers(&source, &findings, RuleKind::PanicPath);
+    // wrong_rule (escape names nan-unsafe) + unescaped.
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+}
+
+#[test]
+fn deny_header_requires_the_clippy_policy() {
+    let with = "#![warn(missing_docs)]\n\
+                #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]\n\
+                pub fn f() {}\n";
+    assert!(check_deny_header("crates/x/src/lib.rs", with).is_none());
+    let without = "#![warn(missing_docs)]\npub fn f() {}\n";
+    let finding = check_deny_header("crates/x/src/lib.rs", without).expect("must flag");
+    assert_eq!(finding.rule, RuleKind::DenyHeader);
+    assert_eq!(finding.line, 1);
+}
+
+#[test]
+fn baseline_absorbs_fixture_findings_across_line_drift() {
+    let (source, findings) = scan_fixture("panic_path.rs", FileClass::Lib);
+    let dir = std::env::temp_dir().join(format!("sherlock-lint-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("baseline.txt");
+    Baseline::write(&path, &findings).unwrap();
+    let baseline = Baseline::load(&path).unwrap();
+
+    // Shift every line down by injecting a comment block up top; the
+    // snippet-keyed baseline still absorbs everything.
+    let shifted_src = format!("// pad\n// pad\n// pad\n{source}");
+    let shifted = scan_source("panic_path.rs", &shifted_src, FileClass::Lib, &RuleKind::ALL);
+    let diff = baseline.diff(&shifted);
+    assert!(diff.new.is_empty(), "{:#?}", diff.new);
+    assert_eq!(diff.baselined, findings.len());
+    assert_eq!(diff.stale, 0);
+
+    // A brand-new violation is not absorbed.
+    let grown_src = format!("{shifted_src}\npub fn extra(v: Option<u8>) -> u8 {{ v.unwrap() }}\n");
+    let grown = scan_source("panic_path.rs", &grown_src, FileClass::Lib, &RuleKind::ALL);
+    let diff = baseline.diff(&grown);
+    assert_eq!(diff.new.len(), 1, "{:#?}", diff.new);
+}

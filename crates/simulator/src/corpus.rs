@@ -49,7 +49,9 @@ fn workload_for(benchmark: Benchmark) -> WorkloadConfig {
 
 fn entry_seed(corpus_seed: u64, kind: AnomalyKind, variant: usize) -> u64 {
     // Stable per-entry seed: mix the kind's Table 1 position and variant.
-    let kind_idx = AnomalyKind::ALL.iter().position(|k| *k == kind).unwrap() as u64;
+    // `ALL` lists every variant, so a missing kind degrades to position 0
+    // (still deterministic) instead of panicking.
+    let kind_idx = AnomalyKind::ALL.iter().position(|k| *k == kind).unwrap_or(0) as u64;
     corpus_seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(kind_idx * 131)

@@ -625,7 +625,7 @@ mod tests {
         let samples: Vec<f64> = (0..300).map(|_| e.step(&p).numeric.txn_avg_latency_ms).collect();
         let median = {
             let mut v = samples.clone();
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.sort_by(f64::total_cmp);
             v[v.len() / 2]
         };
         let stalls = samples.iter().filter(|&&s| s > 2.0 * median).count();

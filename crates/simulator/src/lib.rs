@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+// Diagnosis must degrade gracefully, never panic: unwrap/expect are banned in
+// library code (tests may use them freely). See sherlock-lint's panic-path rule.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! A discrete-time OLTP database-server simulator with injectable
 //! performance anomalies.

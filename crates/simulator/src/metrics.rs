@@ -249,7 +249,10 @@ pub fn metrics_schema() -> Schema {
     let mut attrs: Vec<AttributeMeta> =
         NumericMetrics::NAMES.iter().map(|n| AttributeMeta::numeric(*n)).collect();
     attrs.extend(CATEGORICAL_NAMES.iter().map(|n| AttributeMeta::categorical(*n)));
-    Schema::from_attrs(attrs).expect("metric names are unique")
+    // The static name lists are duplicate-free (asserted by the tests
+    // below), so construction cannot fail.
+    #[allow(clippy::expect_used)]
+    Schema::from_attrs(attrs).expect("metric names are unique") // sherlock-lint: allow(panic-path): static invariant
 }
 
 #[cfg(test)]
@@ -275,6 +278,7 @@ mod tests {
         let values = m.values();
         assert_eq!(values.len(), NumericMetrics::NAMES.len());
         assert_eq!(values[0], 42.0);
+        // sherlock-lint: allow(nan-unsafe): Default zeros are exact
         assert!(values[1..].iter().all(|&v| v == 0.0));
     }
 

@@ -81,10 +81,16 @@ impl Scenario {
             let out = engine.step(&p);
             let mut values: Vec<Value> = out.numeric.values().into_iter().map(Value::Num).collect();
             debug_assert_eq!(values.len(), numeric_count);
+            // The rows are built from the same `metrics_schema()` the
+            // dataset was created with, so intern/push cannot fail.
             for (offset, label) in out.categorical.labels().iter().enumerate() {
                 let attr_id = numeric_count + offset;
+                #[allow(clippy::expect_used)]
+                // sherlock-lint: allow(panic-path): static invariant
                 values.push(dataset.intern(attr_id, label).expect("categorical attr"));
             }
+            #[allow(clippy::expect_used)]
+            // sherlock-lint: allow(panic-path): static invariant
             dataset.push_row(tick as f64, &values).expect("schema-consistent row");
         }
         LabeledDataset { data: dataset, injections: self.injections.clone() }

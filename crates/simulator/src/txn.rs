@@ -77,10 +77,12 @@ impl Mix {
         let reads = self.average(|c| c.statements.selects);
         let writes =
             self.average(|c| c.statements.updates + c.statements.inserts + c.statements.deletes);
-        if reads + writes == 0.0 {
-            0.0
-        } else {
+        // `> 0.0` instead of `== 0.0`: guards the 0/0 case and maps a NaN
+        // statement average to 0.0 rather than propagating it.
+        if reads + writes > 0.0 {
             reads / (reads + writes)
+        } else {
+            0.0
         }
     }
 

@@ -431,6 +431,7 @@ fn clock_skew(
 ) {
     let sign = if rng.unit() < 0.5 { -1.0 } else { 1.0 };
     let offset = (sign * intensity * 30.0).round();
+    // sherlock-lint: allow(nan-unsafe): offset is `.round()`ed, exact-zero check intended
     if offset == 0.0 {
         return;
     }

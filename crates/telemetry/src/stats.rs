@@ -46,8 +46,7 @@ pub fn median_in_place(scratch: &mut [f64]) -> f64 {
     }
     let n = scratch.len();
     let mid = n / 2;
-    let (_, upper_mid, _) = scratch
-        .select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let (_, upper_mid, _) = scratch.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
     let upper = *upper_mid;
     if n % 2 == 1 {
         upper
@@ -65,7 +64,7 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(f64::total_cmp);
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;

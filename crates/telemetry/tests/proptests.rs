@@ -83,7 +83,7 @@ proptest! {
         q in 0.0_f64..1.0,
     ) {
         let expected = stats::quantile(&values, q);
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.sort_by(f64::total_cmp);
         let got = stats::quantile_sorted(&values, q);
         prop_assert!((got - expected).abs() < 1e-9);
     }
