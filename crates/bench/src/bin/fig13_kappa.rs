@@ -14,14 +14,14 @@ use dbsherlock_core::{generate_predicates, DomainKnowledge, Rule, SherlockParams
 /// one κ_t.
 fn prune_f1(kappa_t: f64, runs: usize, seed: u64) -> (f64, f64, f64) {
     let config = SynthConfig::default();
-    let params = SherlockParams {
-        kappa_t,
-        // Low θ and SP floor: the synthetic SEM experiment evaluates the
-        // pruning decision, so predicate generation should be permissive.
-        theta: 0.01,
-        min_separation_power: 0.0,
-        ..SherlockParams::default()
-    };
+    // Low θ and SP floor: the synthetic SEM experiment evaluates the
+    // pruning decision, so predicate generation should be permissive.
+    let params = SherlockParams::builder()
+        .kappa_t(kappa_t)
+        .theta(0.01)
+        .min_separation_power(0.0)
+        .build()
+        .expect("sweep parameters are in range");
     let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
     for run in 0..runs {
         let inst = SynthInstance::generate(&config, seed.wrapping_add(run as u64));

@@ -15,8 +15,11 @@ fn main() {
     let args = ExperimentArgs::parse();
     let runs = args.repeats_or(1000, 10_000);
     let config = SynthConfig::default();
-    let params =
-        SherlockParams { theta: 0.01, min_separation_power: 0.0, ..SherlockParams::default() };
+    let params = SherlockParams::builder()
+        .theta(0.01)
+        .min_separation_power(0.0)
+        .build()
+        .expect("permissive generation parameters are in range");
 
     // Confusion counts: actual = should-prune (secondary symptom)?
     let (mut tp, mut fp, mut fn_, mut tn) = (0usize, 0usize, 0usize, 0usize);

@@ -2,11 +2,12 @@
 //!
 //! Every experiment binary shares the same deterministic corpora (seeded
 //! generation), so results are reproducible across runs and binaries
-//! without writing datasets to disk. Generation is parallelized across
-//! anomaly classes with scoped threads.
+//! without writing datasets to disk. Generation fans out across the
+//! (anomaly kind × variant) grid through the core execution layer.
 
 use std::sync::OnceLock;
 
+use dbsherlock_core::{par_map_indexed, ExecPolicy};
 use dbsherlock_simulator::{
     generate_long_corpus, standard_scenario, AnomalyKind, Benchmark, CorpusEntry, VARIATIONS,
 };
@@ -15,38 +16,17 @@ use dbsherlock_simulator::{
 pub const CORPUS_SEED: u64 = 20160626; // SIGMOD'16 opening day
 
 fn generate_parallel(benchmark: Benchmark) -> Vec<CorpusEntry> {
-    let mut entries: Vec<Option<CorpusEntry>> =
-        (0..AnomalyKind::ALL.len() * VARIATIONS.len()).map(|_| None).collect();
-    let chunks: Vec<(usize, AnomalyKind)> = AnomalyKind::ALL.iter().copied().enumerate().collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for &(kind_idx, kind) in &chunks {
-            handles.push((
-                kind_idx,
-                scope.spawn(move || {
-                    (0..VARIATIONS.len())
-                        .map(|variant| CorpusEntry {
-                            kind,
-                            variant,
-                            labeled: standard_scenario(benchmark, kind, variant, CORPUS_SEED).run(),
-                        })
-                        .collect::<Vec<_>>()
-                }),
-            ));
-        }
-        for (kind_idx, handle) in handles {
-            // `join` fails only if the generator thread panicked; re-raising
-            // that panic on the caller is the right propagation.
-            #[allow(clippy::expect_used)]
-            let generated = handle.join().expect("corpus thread"); // sherlock-lint: allow(panic-path): propagates child panic
-            for (variant, entry) in generated.into_iter().enumerate() {
-                entries[kind_idx * VARIATIONS.len() + variant] = Some(entry);
-            }
-        }
-    });
-    // Every (kind, variant) cell is filled by exactly one thread above.
-    #[allow(clippy::expect_used)]
-    entries.into_iter().map(|e| e.expect("all cells generated")).collect() // sherlock-lint: allow(panic-path): static invariant
+    let cells: Vec<(AnomalyKind, usize)> = AnomalyKind::ALL
+        .iter()
+        .flat_map(|&kind| (0..VARIATIONS.len()).map(move |variant| (kind, variant)))
+        .collect();
+    // Indexed collection keeps (kind, variant) order identical to the old
+    // serial nesting, whatever the thread schedule.
+    par_map_indexed(ExecPolicy::Auto, &cells, |_, &(kind, variant)| CorpusEntry {
+        kind,
+        variant,
+        labeled: standard_scenario(benchmark, kind, variant, CORPUS_SEED).run(),
+    })
 }
 
 /// The 110-dataset TPC-C-like corpus (§8.2).

@@ -7,25 +7,27 @@
 
 use crate::distance::{euclidean, Point};
 
-/// Distance from each point to its `k`-th nearest *other* point
+/// Distance from point `i` to its `k`-th nearest *other* point
 /// (`k = 1` means the nearest neighbour). Points with fewer than `k`
 /// neighbours report the distance to their farthest neighbour; singleton
-/// inputs report `0`.
-pub fn kdist_list(points: &[Point], k: usize) -> Vec<f64> {
+/// inputs report `0`. The per-point unit of work behind [`kdist_list`],
+/// exposed so callers can fan the O(n²) scan out across threads.
+pub fn kdist_of(points: &[Point], i: usize, k: usize) -> f64 {
     let n = points.len();
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut dists: Vec<f64> =
-            (0..n).filter(|&j| j != i).map(|j| euclidean(&points[i], &points[j])).collect();
-        if dists.is_empty() {
-            out.push(0.0);
-            continue;
-        }
-        dists.sort_by(f64::total_cmp);
-        let idx = k.saturating_sub(1).min(dists.len() - 1);
-        out.push(dists[idx]);
+    let mut dists: Vec<f64> =
+        (0..n).filter(|&j| j != i).map(|j| euclidean(&points[i], &points[j])).collect();
+    if dists.is_empty() {
+        return 0.0;
     }
-    out
+    dists.sort_by(f64::total_cmp);
+    let idx = k.saturating_sub(1).min(dists.len() - 1);
+    dists.get(idx).copied().unwrap_or(0.0)
+}
+
+/// Distance from each point to its `k`-th nearest *other* point; see
+/// [`kdist_of`].
+pub fn kdist_list(points: &[Point], k: usize) -> Vec<f64> {
+    (0..points.len()).map(|i| kdist_of(points, i, k)).collect()
 }
 
 /// DBSherlock's `ε` rule: `max(L_k) / 4` (paper §7, with `minPts = 3` so

@@ -31,4 +31,4 @@ pub mod kdist;
 
 pub use dbscan::{dbscan, Clustering, Label};
 pub use distance::{euclidean, rows_from_columns, Point};
-pub use kdist::{epsilon_from_kdist, kdist_list};
+pub use kdist::{epsilon_from_kdist, kdist_list, kdist_of};

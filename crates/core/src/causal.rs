@@ -11,6 +11,7 @@
 use dbsherlock_telemetry::{Dataset, Region};
 use serde::{Deserialize, Serialize};
 
+use crate::exec::par_map_indexed;
 use crate::generate::GeneratedPredicate;
 use crate::label::label_partitions;
 use crate::params::SherlockParams;
@@ -165,6 +166,11 @@ impl ModelRepository {
     /// Score every model against the anomaly and return all causes in
     /// decreasing confidence order (unfiltered; apply `λ` at the
     /// presentation layer so callers can inspect margins).
+    ///
+    /// Models are scored independently across the thread budget of
+    /// `params.exec()` (Eq. 3 touches only its own model's predicates).
+    /// Confidence ties break by cause name so the ranking is deterministic
+    /// regardless of insertion order or thread schedule.
     pub fn rank(
         &self,
         dataset: &Dataset,
@@ -172,15 +178,14 @@ impl ModelRepository {
         normal: &Region,
         params: &SherlockParams,
     ) -> Vec<RankedCause> {
-        let mut ranked: Vec<RankedCause> = self
-            .models
-            .iter()
-            .map(|m| RankedCause {
+        let mut ranked: Vec<RankedCause> =
+            par_map_indexed(params.exec, &self.models, |_, m| RankedCause {
                 cause: m.cause.clone(),
                 confidence: m.confidence(dataset, abnormal, normal, params),
-            })
-            .collect();
-        ranked.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
+            });
+        ranked.sort_by(|a, b| {
+            b.confidence.total_cmp(&a.confidence).then_with(|| a.cause.cmp(&b.cause))
+        });
         ranked
     }
 }
@@ -285,6 +290,28 @@ mod tests {
         let ranked = repo.rank(&d, &abnormal, &normal, &SherlockParams::default());
         assert_eq!(ranked[0].cause, "overheat");
         assert!(ranked[0].confidence > ranked[1].confidence);
+    }
+
+    #[test]
+    fn rank_breaks_confidence_ties_by_cause_name() {
+        let (d, abnormal, normal) = dataset();
+        // Two models with identical predicates score identically; the tie
+        // must break alphabetically no matter the insertion order.
+        let clone_of = |cause: &str| CausalModel {
+            cause: cause.into(),
+            predicates: matching_model().predicates,
+            merged_from: 1,
+        };
+        for order in [["zeta", "alpha", "mid"], ["mid", "zeta", "alpha"]] {
+            let mut repo = ModelRepository::new();
+            for cause in order {
+                repo.add(clone_of(cause));
+            }
+            let ranked = repo.rank(&d, &abnormal, &normal, &SherlockParams::default());
+            let names: Vec<&str> = ranked.iter().map(|r| r.cause.as_str()).collect();
+            assert_eq!(names, ["alpha", "mid", "zeta"], "insertion order {order:?}");
+            assert_eq!(ranked[0].confidence, ranked[2].confidence);
+        }
     }
 
     #[test]

@@ -18,9 +18,10 @@
 //!    anomalies are assumed to be a small minority (§7). Points DBSCAN
 //!    labels as noise are not reported, per the paper.
 
-use dbsherlock_cluster::{dbscan, kdist_list, rows_from_columns, Label};
+use dbsherlock_cluster::{dbscan, kdist_of, rows_from_columns, Label};
 use dbsherlock_telemetry::{stats, AttributeKind, Dataset, Region};
 
+use crate::exec::par_map_indexed;
 use crate::params::SherlockParams;
 
 /// Potential power of a normalized series (Eq. 4): the largest absolute
@@ -41,19 +42,20 @@ pub fn potential_power(normalized: &[f64], tau: usize) -> f64 {
 }
 
 /// Attribute ids whose potential power exceeds `PP_t`, with their
-/// normalized columns.
+/// normalized columns. The per-attribute median filter is the detector's
+/// first O(rows × attrs) stage, so it fans out across the thread budget;
+/// collection by index keeps schema order.
 fn select_attributes(dataset: &Dataset, params: &SherlockParams) -> Vec<(usize, Vec<f64>)> {
-    dataset
-        .schema()
-        .ids_of_kind(AttributeKind::Numeric)
-        .into_iter()
-        .filter_map(|attr_id| {
-            let values = dataset.numeric(attr_id).ok()?;
-            let normalized = stats::normalize_slice(values);
-            let pp = potential_power(&normalized, params.tau);
-            (pp > params.pp_t).then_some((attr_id, normalized))
-        })
-        .collect()
+    let numeric = dataset.schema().ids_of_kind(AttributeKind::Numeric);
+    par_map_indexed(params.exec, &numeric, |_, &attr_id| {
+        let values = dataset.numeric(attr_id).ok()?;
+        let normalized = stats::normalize_slice(values);
+        let pp = potential_power(&normalized, params.tau);
+        (pp > params.pp_t).then_some((attr_id, normalized))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Result of automatic detection.
@@ -78,7 +80,11 @@ pub fn detect_anomaly(dataset: &Dataset, params: &SherlockParams) -> Option<Dete
     if points.len() < params.min_pts {
         return None;
     }
-    let lk = kdist_list(&points, params.min_pts);
+    // O(n²) pairwise scan, one independent row per point: the detector's
+    // dominant cost, mapped across the thread budget.
+    let indices: Vec<usize> = (0..points.len()).collect();
+    let lk: Vec<f64> =
+        par_map_indexed(params.exec, &indices, |_, &i| kdist_of(&points, i, params.min_pts));
     let max_lk = lk.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if max_lk <= 0.0 || !max_lk.is_finite() {
         return None;

@@ -18,9 +18,38 @@ use crate::actions::{ActionLog, Remediation};
 use crate::causal::{CausalModel, ModelRepository, RankedCause};
 use crate::detect::{detect_anomaly, Detection};
 use crate::domain::DomainKnowledge;
+use crate::error::SherlockError;
+use crate::exec::{par_map_indexed, ExecPolicy};
 use crate::generate::{generate_predicates, GeneratedPredicate};
 use crate::params::SherlockParams;
 use crate::predicate::display_conjunction;
+
+/// One diagnosis request, for [`Sherlock::explain_batch`].
+///
+/// Borrows its telemetry: a batch is a slice of views over datasets the
+/// caller already holds, so batching adds no copies.
+#[derive(Debug, Clone, Copy)]
+pub struct Case<'a> {
+    /// The telemetry to diagnose.
+    pub dataset: &'a Dataset,
+    /// The region the user (or the detector) flagged as abnormal.
+    pub abnormal: &'a Region,
+    /// Explicit normal region; `None` uses the complement of `abnormal`.
+    pub normal: Option<&'a Region>,
+}
+
+impl<'a> Case<'a> {
+    /// A case whose normal region is the complement of `abnormal`.
+    pub fn new(dataset: &'a Dataset, abnormal: &'a Region) -> Self {
+        Case { dataset, abnormal, normal: None }
+    }
+
+    /// Attach an explicit normal region.
+    pub fn with_normal(mut self, normal: &'a Region) -> Self {
+        self.normal = Some(normal);
+        self
+    }
+}
 
 /// A complete explanation for one user-specified anomaly.
 #[derive(Debug, Clone)]
@@ -89,26 +118,82 @@ impl Sherlock {
     /// Explain an anomaly. `normal` defaults to the complement of
     /// `abnormal` when the user did not mark a normal region explicitly
     /// (§2.2).
+    ///
+    /// Infallible by design — degenerate input (empty dataset, regions that
+    /// clip to nothing) yields an empty [`Explanation`]. Callers that need
+    /// to distinguish "nothing found" from "nothing to look at" should use
+    /// [`try_explain`](Self::try_explain).
     pub fn explain(
         &self,
         dataset: &Dataset,
         abnormal: &Region,
         normal: Option<&Region>,
     ) -> Explanation {
+        self.explain_with(dataset, abnormal, normal, &self.params).unwrap_or(Explanation {
+            predicates: Vec::new(),
+            causes: Vec::new(),
+            all_causes: Vec::new(),
+        })
+    }
+
+    /// [`explain`](Self::explain) that reports degenerate input instead of
+    /// returning an empty explanation.
+    pub fn try_explain(
+        &self,
+        dataset: &Dataset,
+        abnormal: &Region,
+        normal: Option<&Region>,
+    ) -> Result<Explanation, SherlockError> {
+        self.explain_with(dataset, abnormal, normal, &self.params)
+    }
+
+    /// Diagnose many cases, fanning them out across the thread budget of
+    /// [`SherlockParams::exec`]. Results come back in input order, one per
+    /// case; a degenerate case yields its own error without disturbing its
+    /// neighbours. Within each case the pipeline runs serially — the batch
+    /// is the unit of parallelism, so output is identical to calling
+    /// [`try_explain`](Self::try_explain) in a loop.
+    pub fn explain_batch(&self, cases: &[Case<'_>]) -> Vec<Result<Explanation, SherlockError>> {
+        // Parallelism lives at the case level; nested per-attribute fan-out
+        // would oversubscribe the pool.
+        let inner = self.params.clone().with_exec(ExecPolicy::Serial);
+        par_map_indexed(self.params.exec, cases, |_, case| {
+            self.explain_with(case.dataset, case.abnormal, case.normal, &inner)
+        })
+    }
+
+    /// The single-case pipeline, parameterized so batch mode can force the
+    /// inner stages serial.
+    fn explain_with(
+        &self,
+        dataset: &Dataset,
+        abnormal: &Region,
+        normal: Option<&Region>,
+        params: &SherlockParams,
+    ) -> Result<Explanation, SherlockError> {
+        if dataset.n_rows() == 0 {
+            return Err(SherlockError::EmptyInput("dataset"));
+        }
         // Clip to the rows that actually exist: with degraded telemetry the
         // user's regions may reference rows that lossy ingestion dropped.
-        let abnormal = &abnormal.clip(dataset.n_rows());
+        let n_rows = dataset.n_rows();
+        let abnormal = &abnormal.clip(n_rows);
+        if abnormal.is_empty() {
+            return Err(SherlockError::EmptyRegion { what: "abnormal", n_rows });
+        }
         let normal = match normal {
-            Some(region) => region.clip(dataset.n_rows()),
-            None => abnormal.complement(dataset.n_rows()),
+            Some(region) => region.clip(n_rows),
+            None => abnormal.complement(n_rows),
         };
+        if normal.is_empty() {
+            return Err(SherlockError::EmptyRegion { what: "normal", n_rows });
+        }
         let normal = &normal;
-        let raw = generate_predicates(dataset, abnormal, normal, &self.params);
-        let predicates = self.domain.prune(dataset, raw, &self.params);
-        let all_causes = self.repository.rank(dataset, abnormal, normal, &self.params);
-        let causes =
-            all_causes.iter().filter(|c| c.confidence >= self.params.lambda).cloned().collect();
-        Explanation { predicates, causes, all_causes }
+        let raw = generate_predicates(dataset, abnormal, normal, params);
+        let predicates = self.domain.prune(dataset, raw, params);
+        let all_causes = self.repository.rank(dataset, abnormal, normal, params);
+        let causes = all_causes.iter().filter(|c| c.confidence >= params.lambda).cloned().collect();
+        Ok(Explanation { predicates, causes, all_causes })
     }
 
     /// The user confirmed `cause` for an anomaly whose explanation carried
@@ -269,6 +354,72 @@ mod tests {
         let sherlock = Sherlock::new(SherlockParams::default());
         let explanation = sherlock.explain(&d, &Region::from_range(0..10), None);
         assert!(explanation.predicates.is_empty());
+    }
+
+    #[test]
+    fn try_explain_reports_degenerate_input() {
+        let (d, abnormal) = dataset();
+        let sherlock = Sherlock::new(SherlockParams::default());
+        let empty = Dataset::new(d.schema().clone());
+        assert!(matches!(
+            sherlock.try_explain(&empty, &abnormal, None),
+            Err(SherlockError::EmptyInput("dataset"))
+        ));
+        assert!(matches!(
+            sherlock.try_explain(&d, &Region::from_range(500..600), None),
+            Err(SherlockError::EmptyRegion { what: "abnormal", .. })
+        ));
+        let everything = Region::from_range(0..80);
+        assert!(matches!(
+            sherlock.try_explain(&d, &everything, None),
+            Err(SherlockError::EmptyRegion { what: "normal", .. })
+        ));
+        assert!(sherlock.try_explain(&d, &abnormal, None).is_ok());
+    }
+
+    #[test]
+    fn explain_batch_preserves_case_order_and_isolates_errors() {
+        let (d, abnormal) = dataset();
+        let sherlock = Sherlock::new(SherlockParams::default());
+        let out_of_range = Region::from_range(500..600);
+        let prefix = Region::from_range(0..10);
+        let cases = [
+            Case::new(&d, &abnormal),
+            Case::new(&d, &out_of_range),
+            Case::new(&d, &abnormal).with_normal(&prefix),
+        ];
+        let results = sherlock.explain_batch(&cases);
+        assert_eq!(results.len(), 3);
+        assert!(results[0]
+            .as_ref()
+            .unwrap()
+            .predicates
+            .iter()
+            .any(|p| p.predicate.attr == "signal"));
+        assert!(matches!(results[1], Err(SherlockError::EmptyRegion { what: "abnormal", .. })));
+        assert!(!results[2].as_ref().unwrap().predicates.is_empty());
+    }
+
+    #[test]
+    fn explain_batch_matches_serial_explain() {
+        let (d, abnormal) = dataset();
+        let mut sherlock =
+            Sherlock::new(SherlockParams::default().with_exec(ExecPolicy::Threads(4)));
+        let first = sherlock.explain(&d, &abnormal, None);
+        sherlock.feedback("cache stampede", &first.predicates);
+
+        let cases: Vec<Case<'_>> = (0..6).map(|_| Case::new(&d, &abnormal)).collect();
+        let batch = sherlock.explain_batch(&cases);
+        let single = sherlock.explain(&d, &abnormal, None);
+        for result in batch {
+            let explanation = result.unwrap();
+            assert_eq!(explanation.predicates_display(), single.predicates_display());
+            let causes: Vec<_> =
+                explanation.causes.iter().map(|c| (c.cause.clone(), c.confidence)).collect();
+            let expect: Vec<_> =
+                single.causes.iter().map(|c| (c.cause.clone(), c.confidence)).collect();
+            assert_eq!(causes, expect);
+        }
     }
 
     #[test]

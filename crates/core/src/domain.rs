@@ -14,6 +14,7 @@
 use dbsherlock_telemetry::{stats, AttributeKind, Dataset};
 use serde::{Deserialize, Serialize};
 
+use crate::error::SherlockError;
 use crate::generate::GeneratedPredicate;
 use crate::params::SherlockParams;
 
@@ -47,7 +48,7 @@ impl DomainKnowledge {
 
     /// Build from rules, rejecting the forbidden symmetric pair
     /// `A → B` together with `B → A` (paper §5, condition ii).
-    pub fn new(rules: impl IntoIterator<Item = Rule>) -> Result<Self, String> {
+    pub fn new(rules: impl IntoIterator<Item = Rule>) -> Result<Self, SherlockError> {
         let mut kb = DomainKnowledge::default();
         for rule in rules {
             kb.add(rule)?;
@@ -56,12 +57,14 @@ impl DomainKnowledge {
     }
 
     /// Add one rule; errors when its inverse is already present.
-    pub fn add(&mut self, rule: Rule) -> Result<(), String> {
+    pub fn add(&mut self, rule: Rule) -> Result<(), SherlockError> {
         if self.rules.iter().any(|r| r.cause == rule.effect && r.effect == rule.cause) {
-            return Err(format!(
-                "rules {} → {} and {} → {} cannot coexist",
-                rule.cause, rule.effect, rule.effect, rule.cause
-            ));
+            return Err(SherlockError::ConflictingRules {
+                detail: format!(
+                    "{} → {} and {} → {} cannot coexist",
+                    rule.cause, rule.effect, rule.effect, rule.cause
+                ),
+            });
         }
         if !self.rules.contains(&rule) {
             self.rules.push(rule);

@@ -1,0 +1,101 @@
+//! The unified error type for the diagnosis engine's public API.
+
+use std::fmt;
+
+use dbsherlock_telemetry::TelemetryError;
+
+/// Everything that can go wrong on a fallible public path of the core crate.
+///
+/// One taxonomy instead of the historical mix of `Option`s, stringly
+/// `Result<_, String>`s, and silently-empty results: parameter validation,
+/// domain-knowledge consistency, empty inputs, and telemetry-layer failures
+/// all surface here. Marked `#[non_exhaustive]` so future variants are not a
+/// breaking change — match with a `_` arm.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub enum SherlockError {
+    /// A parameter failed builder validation.
+    InvalidParam {
+        /// Knob name as spelled on [`crate::SherlockParams`].
+        name: &'static str,
+        /// The rejected value, rendered.
+        value: String,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// Two domain-knowledge rules assert contradictory directions for the
+    /// same cause/effect pair.
+    ConflictingRules {
+        /// Description of the offending rule pair.
+        detail: String,
+    },
+    /// An operation that needs data received none.
+    EmptyInput(&'static str),
+    /// A region was empty (or clipped to empty against the dataset).
+    EmptyRegion {
+        /// Which region: "abnormal" or "normal".
+        what: &'static str,
+        /// Row count of the dataset it was clipped against.
+        n_rows: usize,
+    },
+    /// A failure bubbled up from the telemetry layer.
+    Telemetry(TelemetryError),
+}
+
+impl fmt::Display for SherlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SherlockError::InvalidParam { name, value, reason } => {
+                write!(f, "invalid parameter {name} = {value}: {reason}")
+            }
+            SherlockError::ConflictingRules { detail } => {
+                write!(f, "conflicting domain rules: {detail}")
+            }
+            SherlockError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            SherlockError::EmptyRegion { what, n_rows } => {
+                write!(f, "{what} region is empty after clipping to {n_rows} rows")
+            }
+            SherlockError::Telemetry(e) => write!(f, "telemetry error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SherlockError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SherlockError::Telemetry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TelemetryError> for SherlockError {
+    fn from(e: TelemetryError) -> Self {
+        SherlockError::Telemetry(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SherlockError::InvalidParam {
+            name: "theta",
+            value: "-1".into(),
+            reason: "must lie in [0, 1]",
+        };
+        assert!(e.to_string().contains("theta"));
+        let e = SherlockError::EmptyRegion { what: "abnormal", n_rows: 42 };
+        assert!(e.to_string().contains("abnormal") && e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn telemetry_errors_convert_and_chain() {
+        let e: SherlockError = TelemetryError::Empty("dataset").into();
+        assert!(matches!(e, SherlockError::Telemetry(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,154 @@
+//! Deterministic scoped-thread execution layer.
+//!
+//! DBSherlock's hot loops are embarrassingly parallel: Algorithm 1 builds a
+//! partition space and extracts a predicate *per attribute* independently
+//! (§§3–4), cause ranking scores confidence *per causal model* independently
+//! (§6, Eq. 3), and anomaly detection computes potential power and k-distances
+//! per attribute / per point (§7). This module provides the one sanctioned way
+//! to fan that work out: [`ExecPolicy`] selects a thread budget and
+//! [`par_map_indexed`] maps a function over a slice on scoped threads,
+//! collecting results *by index* so output order — and therefore every
+//! downstream sort, threshold, and tie-break — is byte-identical to the serial
+//! run. Determinism is the correctness bar, enforced by the determinism test
+//! suite.
+//!
+//! Raw `std::thread::spawn` / `std::thread::scope` elsewhere in the workspace
+//! is rejected by sherlock-lint's `raw-spawn` rule; route new parallelism
+//! through here.
+
+/// How many worker threads a pipeline stage may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPolicy {
+    /// Run on the calling thread only. Guaranteed allocation-free of any
+    /// thread machinery; the reference against which parallel output is
+    /// checked bit-for-bit.
+    Serial,
+    /// Use exactly `n` worker threads (clamped to at least 1).
+    Threads(usize),
+    /// Use one thread per available CPU, as reported by
+    /// [`std::thread::available_parallelism`]; falls back to serial when the
+    /// parallelism cannot be determined.
+    #[default]
+    Auto,
+}
+
+impl ExecPolicy {
+    /// Resolve the policy to a concrete thread count (always ≥ 1).
+    pub fn resolve(self) -> usize {
+        match self {
+            ExecPolicy::Serial => 1,
+            ExecPolicy::Threads(n) => n.max(1),
+            ExecPolicy::Auto => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecPolicy::Serial => write!(f, "serial"),
+            ExecPolicy::Threads(n) => write!(f, "threads({n})"),
+            ExecPolicy::Auto => write!(f, "auto"),
+        }
+    }
+}
+
+/// Map `f` over `items`, possibly in parallel, returning results in input
+/// order.
+///
+/// Work is dealt round-robin: thread `t` of `T` handles indices
+/// `t, t+T, t+2T, …`, each producing `(index, result)` pairs that are merged
+/// and sorted by index afterwards. Because `f` receives the index and the
+/// item — never any cross-item state — the output is identical under any
+/// [`ExecPolicy`], which the determinism suite asserts.
+///
+/// A panic in `f` on a worker thread is propagated to the caller (the same
+/// behavior as the serial loop).
+pub fn par_map_indexed<T, U, F>(policy: ExecPolicy, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = policy.resolve().min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let mut indexed: Vec<(usize, U)> = Vec::with_capacity(items.len());
+    // sherlock-lint: allow(raw-spawn): this is the one sanctioned spawn site
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let f = &f;
+                scope.spawn(move || {
+                    items
+                        .iter()
+                        .enumerate()
+                        .skip(tid)
+                        .step_by(threads)
+                        .map(|(i, item)| (i, f(i, item)))
+                        .collect::<Vec<(usize, U)>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            // Propagate worker panics to the caller, exactly as the serial
+            // loop would surface them.
+            #[allow(clippy::expect_used)]
+            // sherlock-lint: allow(panic-path): propagates child panic
+            indexed.extend(handle.join().expect("worker thread panicked"));
+        }
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, value)| value).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_floors_at_one() {
+        assert_eq!(ExecPolicy::Serial.resolve(), 1);
+        assert_eq!(ExecPolicy::Threads(0).resolve(), 1);
+        assert_eq!(ExecPolicy::Threads(7).resolve(), 7);
+        assert!(ExecPolicy::Auto.resolve() >= 1);
+    }
+
+    #[test]
+    fn default_is_auto() {
+        assert_eq!(ExecPolicy::default(), ExecPolicy::Auto);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..101).collect();
+        let square = |i: usize, x: &u64| (i as u64) * 1000 + x * x;
+        let serial = par_map_indexed(ExecPolicy::Serial, &items, square);
+        for threads in [2, 3, 4, 16, 200] {
+            let parallel = par_map_indexed(ExecPolicy::Threads(threads), &items, square);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = par_map_indexed(ExecPolicy::Threads(4), &[] as &[u8], |_, x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = [1, 2, 3];
+        let out = par_map_indexed(ExecPolicy::Threads(64), &items, |_, x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ExecPolicy::Serial.to_string(), "serial");
+        assert_eq!(ExecPolicy::Threads(4).to_string(), "threads(4)");
+        assert_eq!(ExecPolicy::Auto.to_string(), "auto");
+    }
+}

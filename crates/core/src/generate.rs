@@ -6,8 +6,9 @@
 //! `|µ_A − µ_N| > θ` conditions hold. Categorical attributes skip the
 //! filtering/filling steps and extract straight after labeling.
 
-use dbsherlock_telemetry::{AttributeKind, Dataset, Region};
+use dbsherlock_telemetry::{AttributeKind, AttributeMeta, Dataset, Region};
 
+use crate::exec::par_map_indexed;
 use crate::extract::{extract_categorical, extract_numeric, normalized_mean_difference};
 use crate::fill::fill_gaps;
 use crate::filter::filter_partitions;
@@ -58,61 +59,69 @@ pub fn generate_predicates_ablated(
     params: &SherlockParams,
     ablation: AblationFlags,
 ) -> Vec<GeneratedPredicate> {
-    let mut out = Vec::new();
     // Regions may have been defined over a healthier version of the data:
     // lossy ingestion drops rows, so clip before any column indexing.
     let abnormal = &abnormal.clip(dataset.n_rows());
     let normal = &normal.clip(dataset.n_rows());
     if abnormal.is_empty() || normal.is_empty() {
-        return out;
+        return Vec::new();
     }
-    for (attr_id, attr) in dataset.schema().iter() {
-        let Some(space) = PartitionSpace::build(dataset, attr_id, params.n_partitions) else {
-            continue;
-        };
-        let labels = label_partitions(dataset, attr_id, &space, abnormal, normal);
-        match attr.kind {
-            AttributeKind::Numeric => {
-                let filtered =
-                    if ablation.skip_filtering { labels } else { filter_partitions(&labels) };
-                let filled = if ablation.skip_filling {
-                    filtered
-                } else {
-                    fill_gaps(&filtered, params.delta, dataset, attr_id, &space, normal)
-                };
-                let Some(d) = normalized_mean_difference(dataset, attr_id, abnormal, normal) else {
-                    continue;
-                };
-                if d <= params.theta {
-                    continue;
-                }
-                if let Some(predicate) = extract_numeric(&attr.name, &space, &filled) {
-                    let sp = separation_power(&predicate, dataset, abnormal, normal);
-                    if sp >= params.min_separation_power {
-                        out.push(GeneratedPredicate {
-                            predicate,
-                            separation_power: sp,
-                            normalized_diff: d,
-                        });
-                    }
-                }
+    // Each attribute is an independent run of Algorithm 1, so the schema
+    // fans out across the thread budget; collecting by index keeps the
+    // output in schema order, identical to the serial loop.
+    let attrs: Vec<(usize, &AttributeMeta)> = dataset.schema().iter().collect();
+    par_map_indexed(params.exec, &attrs, |_, &(attr_id, attr)| {
+        extract_for_attribute(dataset, attr_id, attr, abnormal, normal, params, ablation)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Algorithm 1 for a single attribute: partition, label, (numeric) filter and
+/// fill, then extract — the unit of work the parallel executor maps over.
+fn extract_for_attribute(
+    dataset: &Dataset,
+    attr_id: usize,
+    attr: &AttributeMeta,
+    abnormal: &Region,
+    normal: &Region,
+    params: &SherlockParams,
+    ablation: AblationFlags,
+) -> Option<GeneratedPredicate> {
+    let space = PartitionSpace::build(dataset, attr_id, params.n_partitions)?;
+    let labels = label_partitions(dataset, attr_id, &space, abnormal, normal);
+    match attr.kind {
+        AttributeKind::Numeric => {
+            let filtered =
+                if ablation.skip_filtering { labels } else { filter_partitions(&labels) };
+            let filled = if ablation.skip_filling {
+                filtered
+            } else {
+                fill_gaps(&filtered, params.delta, dataset, attr_id, &space, normal)
+            };
+            let d = normalized_mean_difference(dataset, attr_id, abnormal, normal)?;
+            if d <= params.theta {
+                return None;
             }
-            AttributeKind::Categorical => {
-                if let Some(predicate) = extract_categorical(&attr.name, dataset, attr_id, &labels)
-                {
-                    let sp = separation_power(&predicate, dataset, abnormal, normal);
-                    if sp >= params.min_separation_power {
-                        out.push(GeneratedPredicate {
-                            predicate,
-                            separation_power: sp,
-                            normalized_diff: 1.0,
-                        });
-                    }
-                }
-            }
+            let predicate = extract_numeric(&attr.name, &space, &filled)?;
+            let sp = separation_power(&predicate, dataset, abnormal, normal);
+            (sp >= params.min_separation_power).then_some(GeneratedPredicate {
+                predicate,
+                separation_power: sp,
+                normalized_diff: d,
+            })
+        }
+        AttributeKind::Categorical => {
+            let predicate = extract_categorical(&attr.name, dataset, attr_id, &labels)?;
+            let sp = separation_power(&predicate, dataset, abnormal, normal);
+            (sp >= params.min_separation_power).then_some(GeneratedPredicate {
+                predicate,
+                separation_power: sp,
+                normalized_diff: 1.0,
+            })
         }
     }
-    out
 }
 
 #[cfg(test)]

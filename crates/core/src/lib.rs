@@ -24,7 +24,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use dbsherlock_core::{Sherlock, SherlockParams};
+//! use dbsherlock_core::prelude::*;
 //! use dbsherlock_telemetry::{AttributeMeta, Dataset, Region, Schema, Value};
 //!
 //! // Telemetry with an obvious anomaly in rows 60..80.
@@ -51,6 +51,8 @@ pub mod causal;
 pub mod detect;
 pub mod diagnose;
 pub mod domain;
+pub mod error;
+pub mod exec;
 pub mod extract;
 pub mod fill;
 pub mod filter;
@@ -65,13 +67,30 @@ pub mod separation;
 pub use actions::{ActionLog, AutoAction, AutoRemediationPolicy, Decision, Remediation};
 pub use causal::{Accuracy, CausalModel, ModelRepository, RankedCause};
 pub use detect::{detect_anomaly, potential_power, Detection};
-pub use diagnose::{Explanation, Sherlock};
+pub use diagnose::{Case, Explanation, Sherlock};
 pub use domain::{independence_factor, DomainKnowledge, Rule};
+pub use error::SherlockError;
+pub use exec::{par_map_indexed, ExecPolicy};
 pub use generate::{
     generate_predicates, generate_predicates_ablated, AblationFlags, GeneratedPredicate,
 };
 pub use merge::{merge_all, merge_models, merge_predicates};
-pub use params::SherlockParams;
+pub use params::{SherlockParams, SherlockParamsBuilder};
 pub use partition::{PartitionLabel, PartitionSpace};
 pub use predicate::{display_conjunction, Predicate, PredicateOp};
 pub use separation::{partition_separation_power, separation_power};
+
+/// The convenient single import for typical users of the engine.
+///
+/// ```
+/// use dbsherlock_core::prelude::*;
+/// let params = SherlockParams::builder().exec(ExecPolicy::Serial).build().unwrap();
+/// let _sherlock = Sherlock::new(params);
+/// ```
+pub mod prelude {
+    pub use crate::diagnose::{Case, Explanation, Sherlock};
+    pub use crate::error::SherlockError;
+    pub use crate::exec::ExecPolicy;
+    pub use crate::generate::GeneratedPredicate;
+    pub use crate::{RankedCause, SherlockParams, SherlockParamsBuilder};
+}

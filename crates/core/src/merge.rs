@@ -16,6 +16,7 @@
 //!   attribute.
 
 use crate::causal::CausalModel;
+use crate::error::SherlockError;
 use crate::predicate::{Predicate, PredicateOp};
 
 /// Merge two same-attribute predicates, or `None` when inconsistent.
@@ -65,11 +66,14 @@ pub fn merge_models(m1: &CausalModel, m2: &CausalModel) -> CausalModel {
     }
 }
 
-/// Fold a sequence of same-cause models into one.
-pub fn merge_all<'a>(models: impl IntoIterator<Item = &'a CausalModel>) -> Option<CausalModel> {
+/// Fold a sequence of same-cause models into one. Errors on an empty
+/// sequence — there is no identity model to fall back to.
+pub fn merge_all<'a>(
+    models: impl IntoIterator<Item = &'a CausalModel>,
+) -> Result<CausalModel, SherlockError> {
     let mut iter = models.into_iter();
-    let first = iter.next()?.clone();
-    Some(iter.fold(first, |acc, m| merge_models(&acc, m)))
+    let first = iter.next().ok_or(SherlockError::EmptyInput("models to merge"))?.clone();
+    Ok(iter.fold(first, |acc, m| merge_models(&acc, m)))
 }
 
 #[cfg(test)]
@@ -165,7 +169,10 @@ mod tests {
         let merged = merge_all(models.iter()).unwrap();
         assert_eq!(merged.predicates, vec![Predicate::gt("A", 5.0)]);
         assert_eq!(merged.merged_from, 3);
-        assert!(merge_all(std::iter::empty()).is_none());
+        assert!(matches!(
+            merge_all(std::iter::empty()),
+            Err(SherlockError::EmptyInput("models to merge"))
+        ));
     }
 
     #[test]

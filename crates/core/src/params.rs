@@ -2,8 +2,17 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::SherlockError;
+use crate::exec::ExecPolicy;
+
 /// All knobs of the predicate-generation and diagnosis pipeline, with the
 /// paper's defaults.
+///
+/// Fields are private: read them through the accessor methods
+/// ([`theta`](SherlockParams::theta), [`delta`](SherlockParams::delta), …)
+/// and set them through [`SherlockParams::builder`] (validating) or the
+/// infallible `with_*` conveniences. `Default` still yields the paper's
+/// configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SherlockParams {
     /// Number of equi-width partitions `R` for numeric attributes (§4.1).
@@ -12,16 +21,16 @@ pub struct SherlockParams {
     /// (Appendix D) runs the evaluation at `R = 250`, which it found to
     /// have indistinguishable confidence at a quarter of the cost, so that
     /// is our default too.
-    pub n_partitions: usize,
+    pub(crate) n_partitions: usize,
     /// Normalized difference threshold `θ` (§4.5): a numeric predicate is
     /// kept only when `|µ_A − µ_N| > θ` on the min–max-normalized attribute.
     /// `0.2` for single causal models (§8.3); `0.05` when models will be
     /// merged (§8.5).
-    pub theta: f64,
+    pub(crate) theta: f64,
     /// Anomaly distance multiplier `δ` (§4.4): distances to Abnormal
     /// partitions are multiplied by `δ` while filling gaps, so `δ > 1`
     /// yields more specific predicates.
-    pub delta: f64,
+    pub(crate) delta: f64,
     /// Minimum tuple-level separation power (Eq. 1) a candidate predicate
     /// must reach on the training data to be emitted. §3 states
     /// DBSherlock's goal as "filter\[ing\] out individual attributes with low
@@ -29,24 +38,30 @@ pub struct SherlockParams {
     /// explicit. Attributes whose normal/abnormal clusters overlap
     /// materially (SP well below 1) produce predicates that do not
     /// transfer across anomaly instances.
-    pub min_separation_power: f64,
+    pub(crate) min_separation_power: f64,
     /// Bins per attribute (`γ`) for the joint histogram of the
     /// domain-knowledge independence test (§5).
-    pub gamma: usize,
+    pub(crate) gamma: usize,
     /// Independence-factor threshold `κ_t` (§5): attributes with
     /// `κ >= κ_t` are considered dependent, validating the rule.
-    pub kappa_t: f64,
+    pub(crate) kappa_t: f64,
     /// Minimum confidence `λ` for a causal model to be reported (§6).
-    pub lambda: f64,
+    pub(crate) lambda: f64,
     /// Sliding-window size `τ` for the potential-power median filter (§7).
-    pub tau: usize,
+    pub(crate) tau: usize,
     /// Potential-power threshold `PP_t` for attribute selection (§7).
-    pub pp_t: f64,
+    pub(crate) pp_t: f64,
     /// DBSCAN `minPts` (§7 fixes it to 3).
-    pub min_pts: usize,
+    pub(crate) min_pts: usize,
     /// Maximum cluster size, as a fraction of all points, for a cluster to
     /// be reported as anomalous (§7 uses 20%).
-    pub max_anomaly_fraction: f64,
+    pub(crate) max_anomaly_fraction: f64,
+    /// Thread budget for the parallel pipeline stages. Not an algorithm
+    /// knob: any policy yields bit-identical output (see [`crate::exec`]),
+    /// so it is excluded from serialization and defaults to
+    /// [`ExecPolicy::Auto`] on deserialize.
+    #[serde(skip)]
+    pub(crate) exec: ExecPolicy,
 }
 
 impl Default for SherlockParams {
@@ -63,6 +78,7 @@ impl Default for SherlockParams {
             pp_t: 0.3,
             min_pts: 3,
             max_anomaly_fraction: 0.2,
+            exec: ExecPolicy::Auto,
         }
     }
 }
@@ -75,6 +91,71 @@ impl SherlockParams {
     /// is what filters the unstable predicates in this regime.
     pub fn for_merging() -> Self {
         SherlockParams { theta: 0.05, min_separation_power: 0.5, ..SherlockParams::default() }
+    }
+
+    /// Start a validating builder seeded with the paper's defaults.
+    pub fn builder() -> SherlockParamsBuilder {
+        SherlockParamsBuilder { params: SherlockParams::default() }
+    }
+
+    /// Number of equi-width partitions `R` (§4.1).
+    pub fn n_partitions(&self) -> usize {
+        self.n_partitions
+    }
+
+    /// Normalized difference threshold `θ` (§4.5).
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Anomaly distance multiplier `δ` (§4.4).
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Minimum tuple-level separation power (Eq. 1) for emitted predicates.
+    pub fn min_separation_power(&self) -> f64 {
+        self.min_separation_power
+    }
+
+    /// Bins per attribute `γ` for the independence test (§5).
+    pub fn gamma(&self) -> usize {
+        self.gamma
+    }
+
+    /// Independence-factor threshold `κ_t` (§5).
+    pub fn kappa_t(&self) -> f64 {
+        self.kappa_t
+    }
+
+    /// Minimum reported model confidence `λ` (§6).
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Sliding-window size `τ` for the potential-power filter (§7).
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+
+    /// Potential-power threshold `PP_t` (§7).
+    pub fn pp_t(&self) -> f64 {
+        self.pp_t
+    }
+
+    /// DBSCAN `minPts` (§7).
+    pub fn min_pts(&self) -> usize {
+        self.min_pts
+    }
+
+    /// Maximum anomalous-cluster fraction (§7).
+    pub fn max_anomaly_fraction(&self) -> f64 {
+        self.max_anomaly_fraction
+    }
+
+    /// Thread budget for the parallel pipeline stages.
+    pub fn exec(&self) -> ExecPolicy {
+        self.exec
     }
 
     /// Builder-style override of `θ`.
@@ -100,6 +181,128 @@ impl SherlockParams {
         self.min_separation_power = floor;
         self
     }
+
+    /// Builder-style override of the execution policy.
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+}
+
+/// Validating builder for [`SherlockParams`].
+///
+/// Every setter records the value as given; [`build`](Self::build) checks the
+/// whole configuration at once and reports the first violation as
+/// [`SherlockError::InvalidParam`].
+///
+/// ```
+/// use dbsherlock_core::{ExecPolicy, SherlockParams};
+/// let params = SherlockParams::builder()
+///     .theta(0.05)
+///     .min_separation_power(0.5)
+///     .exec(ExecPolicy::Threads(4))
+///     .build()
+///     .unwrap();
+/// assert_eq!(params.theta(), 0.05);
+/// assert!(SherlockParams::builder().theta(-1.0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SherlockParamsBuilder {
+    params: SherlockParams,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(mut self, value: $ty) -> Self {
+                self.params.$name = value;
+                self
+            }
+        )*
+    };
+}
+
+impl SherlockParamsBuilder {
+    builder_setters! {
+        /// Number of equi-width partitions `R` (§4.1). Must be ≥ 1.
+        n_partitions: usize,
+        /// Normalized difference threshold `θ` (§4.5). Must be finite in `[0, 1]`.
+        theta: f64,
+        /// Anomaly distance multiplier `δ` (§4.4). Must be finite and > 0.
+        delta: f64,
+        /// Separation-power floor (Eq. 1). Must be finite in `[0, 1]`.
+        min_separation_power: f64,
+        /// Bins per attribute `γ` (§5). Must be ≥ 2.
+        gamma: usize,
+        /// Independence-factor threshold `κ_t` (§5). Must be finite and ≥ 0.
+        kappa_t: f64,
+        /// Minimum reported confidence `λ` (§6). Must be finite in `[0, 1]`.
+        lambda: f64,
+        /// Potential-power window `τ` (§7). Must be ≥ 1.
+        tau: usize,
+        /// Potential-power threshold `PP_t` (§7). Must be finite and ≥ 0.
+        pp_t: f64,
+        /// DBSCAN `minPts` (§7). Must be ≥ 1.
+        min_pts: usize,
+        /// Maximum anomalous-cluster fraction (§7). Must be finite in `(0, 1]`.
+        max_anomaly_fraction: f64,
+        /// Thread budget for the parallel pipeline stages.
+        exec: ExecPolicy,
+    }
+
+    /// Validate the configuration and produce the params.
+    pub fn build(self) -> Result<SherlockParams, SherlockError> {
+        let p = &self.params;
+        let invalid = |name: &'static str, value: String, reason: &'static str| {
+            Err(SherlockError::InvalidParam { name, value, reason })
+        };
+        if p.n_partitions == 0 {
+            return invalid("n_partitions", p.n_partitions.to_string(), "must be at least 1");
+        }
+        if !p.theta.is_finite() || !(0.0..=1.0).contains(&p.theta) {
+            return invalid("theta", p.theta.to_string(), "must be finite in [0, 1]");
+        }
+        if !p.delta.is_finite() || p.delta <= 0.0 {
+            return invalid("delta", p.delta.to_string(), "must be finite and positive");
+        }
+        if !p.min_separation_power.is_finite() || !(0.0..=1.0).contains(&p.min_separation_power) {
+            return invalid(
+                "min_separation_power",
+                p.min_separation_power.to_string(),
+                "must be finite in [0, 1]",
+            );
+        }
+        if p.gamma < 2 {
+            return invalid("gamma", p.gamma.to_string(), "needs at least 2 histogram bins");
+        }
+        if !p.kappa_t.is_finite() || p.kappa_t < 0.0 {
+            return invalid("kappa_t", p.kappa_t.to_string(), "must be finite and non-negative");
+        }
+        if !p.lambda.is_finite() || !(0.0..=1.0).contains(&p.lambda) {
+            return invalid("lambda", p.lambda.to_string(), "must be finite in [0, 1]");
+        }
+        if p.tau == 0 {
+            return invalid("tau", p.tau.to_string(), "window must cover at least 1 sample");
+        }
+        if !p.pp_t.is_finite() || p.pp_t < 0.0 {
+            return invalid("pp_t", p.pp_t.to_string(), "must be finite and non-negative");
+        }
+        if p.min_pts == 0 {
+            return invalid("min_pts", p.min_pts.to_string(), "DBSCAN needs minPts >= 1");
+        }
+        if !p.max_anomaly_fraction.is_finite()
+            || p.max_anomaly_fraction <= 0.0
+            || p.max_anomaly_fraction > 1.0
+        {
+            return invalid(
+                "max_anomaly_fraction",
+                p.max_anomaly_fraction.to_string(),
+                "must be finite in (0, 1]",
+            );
+        }
+        Ok(self.params)
+    }
 }
 
 #[cfg(test)]
@@ -109,28 +312,77 @@ mod tests {
     #[test]
     fn defaults_match_paper() {
         let p = SherlockParams::default();
-        assert_eq!(p.n_partitions, 250);
-        assert_eq!(p.theta, 0.2);
-        assert_eq!(p.delta, 10.0);
-        assert_eq!(p.kappa_t, 0.15);
-        assert_eq!(p.lambda, 0.2);
-        assert_eq!(p.tau, 20);
-        assert_eq!(p.pp_t, 0.3);
-        assert_eq!(p.min_pts, 3);
+        assert_eq!(p.n_partitions(), 250);
+        assert_eq!(p.theta(), 0.2);
+        assert_eq!(p.delta(), 10.0);
+        assert_eq!(p.kappa_t(), 0.15);
+        assert_eq!(p.lambda(), 0.2);
+        assert_eq!(p.tau(), 20);
+        assert_eq!(p.pp_t(), 0.3);
+        assert_eq!(p.min_pts(), 3);
+        assert_eq!(p.exec(), ExecPolicy::Auto);
     }
 
     #[test]
     fn merging_profile_lowers_theta() {
         let p = SherlockParams::for_merging();
-        assert_eq!(p.theta, 0.05);
-        assert_eq!(p.n_partitions, 250);
+        assert_eq!(p.theta(), 0.05);
+        assert_eq!(p.n_partitions(), 250);
     }
 
     #[test]
     fn builders_override() {
         let p = SherlockParams::default().with_theta(0.4).with_partitions(0).with_delta(0.1);
-        assert_eq!(p.theta, 0.4);
-        assert_eq!(p.n_partitions, 1); // clamped to at least one partition
-        assert_eq!(p.delta, 0.1);
+        assert_eq!(p.theta(), 0.4);
+        assert_eq!(p.n_partitions(), 1); // clamped to at least one partition
+        assert_eq!(p.delta(), 0.1);
+    }
+
+    #[test]
+    fn builder_accepts_paper_configs() {
+        let p = SherlockParams::builder()
+            .theta(0.05)
+            .min_separation_power(0.0)
+            .exec(ExecPolicy::Serial)
+            .build()
+            .unwrap();
+        assert_eq!(p.theta(), 0.05);
+        assert_eq!(p.min_separation_power(), 0.0);
+        assert_eq!(p.exec(), ExecPolicy::Serial);
+        // Untouched knobs keep the paper's defaults.
+        assert_eq!(p.n_partitions(), 250);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        for (result, knob) in [
+            (SherlockParams::builder().theta(-0.1).build(), "theta"),
+            (SherlockParams::builder().theta(f64::NAN).build(), "theta"),
+            (SherlockParams::builder().delta(0.0).build(), "delta"),
+            (SherlockParams::builder().n_partitions(0).build(), "n_partitions"),
+            (SherlockParams::builder().min_separation_power(1.5).build(), "min_separation_power"),
+            (SherlockParams::builder().gamma(1).build(), "gamma"),
+            (SherlockParams::builder().lambda(2.0).build(), "lambda"),
+            (SherlockParams::builder().tau(0).build(), "tau"),
+            (SherlockParams::builder().pp_t(f64::INFINITY).build(), "pp_t"),
+            (SherlockParams::builder().min_pts(0).build(), "min_pts"),
+            (SherlockParams::builder().max_anomaly_fraction(0.0).build(), "max_anomaly_fraction"),
+        ] {
+            match result {
+                Err(SherlockError::InvalidParam { name, .. }) => assert_eq!(name, knob),
+                other => panic!("{knob}: expected InvalidParam, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn exec_policy_is_not_serialized() {
+        let p = SherlockParams::default().with_exec(ExecPolicy::Threads(8));
+        let json = serde_json::to_string(&p).unwrap();
+        assert!(!json.contains("exec"));
+        let back: SherlockParams = serde_json::from_str(&json).unwrap();
+        // Round-trips to the default policy; algorithm knobs survive intact.
+        assert_eq!(back.exec(), ExecPolicy::Auto);
+        assert_eq!(back.theta(), p.theta());
     }
 }

@@ -1,6 +1,6 @@
 //! The rule engine: walks the token stream from [`crate::lexer`] with just
 //! enough structural context (attributes, `#[cfg(test)]` item spans, paren
-//! depth) to enforce the four domain invariants.
+//! depth) to enforce the five domain invariants.
 
 use std::fmt;
 
@@ -19,12 +19,21 @@ pub enum RuleKind {
     UnseededRng,
     /// Crate roots must deny `clippy::unwrap_used`/`expect_used` outside tests.
     DenyHeader,
+    /// Bare `thread::spawn` / `thread::scope` in library code outside the
+    /// execution layer (`crates/core/src/exec.rs`). Parallelism must route
+    /// through `par_map_indexed` so ordering and determinism stay centralised.
+    RawSpawn,
 }
 
 impl RuleKind {
     /// All rules, in reporting order.
-    pub const ALL: [RuleKind; 4] =
-        [RuleKind::PanicPath, RuleKind::NanUnsafe, RuleKind::UnseededRng, RuleKind::DenyHeader];
+    pub const ALL: [RuleKind; 5] = [
+        RuleKind::PanicPath,
+        RuleKind::NanUnsafe,
+        RuleKind::UnseededRng,
+        RuleKind::DenyHeader,
+        RuleKind::RawSpawn,
+    ];
 
     /// Stable kebab-case name (used in baselines and allow-escapes).
     pub fn name(self) -> &'static str {
@@ -33,6 +42,7 @@ impl RuleKind {
             RuleKind::NanUnsafe => "nan-unsafe",
             RuleKind::UnseededRng => "unseeded-rng",
             RuleKind::DenyHeader => "deny-header",
+            RuleKind::RawSpawn => "raw-spawn",
         }
     }
 
@@ -265,6 +275,22 @@ pub fn scan_source(path: &str, source: &str, class: FileClass, rules: &[RuleKind
                                 );
                             }
                         }
+                    }
+                    "spawn" | "scope"
+                        if class == FileClass::Lib
+                            && !in_test
+                            && matches!(prev_kind, Some(Tok::Op("::")))
+                            && i >= 2
+                            && ident(i - 2) == Some("thread") =>
+                    {
+                        emit(
+                            RuleKind::RawSpawn,
+                            tok.line,
+                            format!(
+                                "bare `thread::{name}` outside the execution layer; \
+                                 route work through dbsherlock_core::par_map_indexed"
+                            ),
+                        );
                     }
                     rng if ENTROPY_RNGS.contains(&rng) => {
                         emit(
@@ -627,6 +653,30 @@ pub fn more_lib(v: &[u8]) -> u8 { v[1] }
         ] {
             assert!(rules_of(src, FileClass::Other).is_empty(), "{src}");
         }
+    }
+
+    #[test]
+    fn raw_spawn_patterns() {
+        let spawn = "fn f() { std::thread::spawn(|| work()); }";
+        assert_eq!(rules_of(spawn, FileClass::Lib), vec![(RuleKind::RawSpawn, 1)]);
+        let scope = "fn f() { thread::scope(|s| { s.spawn(|| work()); }); }";
+        assert_eq!(rules_of(scope, FileClass::Lib), vec![(RuleKind::RawSpawn, 1)]);
+        // Test, bench, example, and bin code may spawn freely.
+        assert!(rules_of(spawn, FileClass::Other).is_empty());
+        let in_test = "#[cfg(test)]\nmod t { fn f() { std::thread::spawn(|| ()); } }";
+        assert!(rules_of(in_test, FileClass::Lib).is_empty());
+        // Handle methods and unrelated idents are not `thread::` paths.
+        for src in [
+            "fn f(s: &Scope) { s.spawn(|| ()); }",
+            "fn f() { let scope = 1; }",
+            "fn f() { tracing::span!(); }",
+        ] {
+            assert!(rules_of(src, FileClass::Lib).is_empty(), "{src}");
+        }
+        // The in-band escape acknowledges the sanctioned site.
+        let allowed =
+            "fn f() { std::thread::scope(|s| ()) } // sherlock-lint: allow(raw-spawn): exec layer";
+        assert!(rules_of(allowed, FileClass::Lib).is_empty());
     }
 
     #[test]

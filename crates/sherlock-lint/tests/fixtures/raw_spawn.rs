@@ -1,0 +1,28 @@
+//! Fixture: bare thread spawns in library code must route through the
+//! core execution layer (`par_map_indexed` / `ExecPolicy`).
+
+pub fn fans_out_by_hand(items: &[u32]) -> u32 {
+    let handle = std::thread::spawn(|| 1); // REAL
+    std::thread::scope(|s| { // REAL
+        // Handle/scope *methods* are not path spawns; only the entry
+        // points are policed.
+        s.spawn(|| ());
+    });
+    thread::spawn(background_worker); // REAL
+    handle.join().unwrap_or(0)
+}
+
+fn background_worker() {}
+
+pub fn sanctioned_site() {
+    // sherlock-lint: allow(raw-spawn): pretend this is the exec layer
+    std::thread::scope(|_s| {});
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spawn_freely() {
+        std::thread::spawn(|| ()).join().unwrap();
+    }
+}

@@ -104,6 +104,18 @@ fn unseeded_rng_catches_every_pattern() {
 }
 
 #[test]
+fn raw_spawn_fires_only_on_path_spawns_in_lib_code() {
+    let (source, findings) = scan_fixture("raw_spawn.rs", FileClass::Lib);
+    assert_matches_markers(&source, &findings, RuleKind::RawSpawn);
+    // std::thread::spawn, std::thread::scope, thread::spawn; the escape,
+    // the scope-handle method and the #[cfg(test)] spawn stay silent.
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+    // Bin/bench/test files may spawn freely.
+    let (_, other) = scan_fixture("raw_spawn.rs", FileClass::Other);
+    assert!(other.is_empty(), "{other:#?}");
+}
+
+#[test]
 fn allow_escapes_suppress_only_the_named_rule() {
     let (source, findings) = scan_fixture("allow_escape.rs", FileClass::Lib);
     assert_matches_markers(&source, &findings, RuleKind::PanicPath);

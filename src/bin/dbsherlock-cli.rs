@@ -100,6 +100,8 @@ options:
   --strict fail on the first malformed CSV cell instead of repairing it
            (by default, damaged telemetry is salvaged and each repair is
            reported on stderr as `warning: ...`)
+  --threads <N|serial|auto>
+           thread budget for the diagnosis pipeline (default: auto)
 
 exit codes:
   0 success   1 usage error   2 unreadable/unparseable input   3 diagnosis failure";
@@ -186,11 +188,20 @@ fn save_repository(path: &str, repo: &ModelRepository) -> Result<(), CliError> {
 }
 
 fn params_from(args: &[&String]) -> Result<SherlockParams, CliError> {
-    let mut params = SherlockParams::default();
+    let mut builder = SherlockParams::builder();
     if let Some(theta) = option(args, "--theta") {
-        params.theta = theta.parse().map_err(|_| format!("bad --theta {theta:?}"))?;
+        let theta: f64 = theta.parse().map_err(|_| format!("bad --theta {theta:?}"))?;
+        builder = builder.theta(theta);
     }
-    Ok(params)
+    if let Some(threads) = option(args, "--threads") {
+        let exec = match threads {
+            "auto" => ExecPolicy::Auto,
+            "serial" | "1" => ExecPolicy::Serial,
+            n => ExecPolicy::Threads(n.parse().map_err(|_| format!("bad --threads {threads:?}"))?),
+        };
+        builder = builder.exec(exec);
+    }
+    builder.build().map_err(|e| CliError::Usage(e.to_string()))
 }
 
 fn simulate(args: &[&String]) -> Result<(), CliError> {

@@ -46,6 +46,30 @@
 //! let again = sherlock.explain(&labeled.data, &region, None);
 //! assert_eq!(again.top_cause().unwrap().cause, "stress-ng CPU hog");
 //! ```
+//!
+//! Heavy traffic goes through the validating builder and the batch entry
+//! point, which fans independent cases out across a thread pool with
+//! bit-identical results at any thread count:
+//!
+//! ```
+//! use dbsherlock::prelude::*;
+//! # let labeled = Scenario::new(WorkloadConfig::tpcc_default(), 150, 42)
+//! #     .with_injection(Injection::new(AnomalyKind::CpuSaturation, 60, 40))
+//! #     .run();
+//! # let region = Region::from_range(60..100);
+//!
+//! let params = SherlockParams::builder()
+//!     .theta(0.05)
+//!     .exec(ExecPolicy::Threads(4))
+//!     .build()?;
+//! let sherlock = Sherlock::new(params);
+//! let cases = [Case::new(&labeled.data, &region)];
+//! for result in sherlock.explain_batch(&cases) {
+//!     let explanation = result?;
+//!     assert!(!explanation.predicates.is_empty());
+//! }
+//! # Ok::<(), dbsherlock::core::SherlockError>(())
+//! ```
 
 pub use dbsherlock_baselines as baselines;
 pub use dbsherlock_causal_synth as causal_synth;
@@ -57,9 +81,9 @@ pub use dbsherlock_telemetry as telemetry;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use dbsherlock_core::{
-        generate_predicates, Accuracy, CausalModel, DomainKnowledge, Explanation,
+        generate_predicates, Accuracy, Case, CausalModel, DomainKnowledge, ExecPolicy, Explanation,
         GeneratedPredicate, ModelRepository, Predicate, PredicateOp, RankedCause, Rule, Sherlock,
-        SherlockParams,
+        SherlockError, SherlockParams, SherlockParamsBuilder,
     };
     pub use dbsherlock_simulator::{
         AnomalyKind, Benchmark, Injection, LabeledDataset, NoiseModel, Scenario, ServerConfig,

@@ -1,0 +1,125 @@
+//! Determinism suite: the parallel execution layer must be invisible in the
+//! output. `explain` under `ExecPolicy::Serial` and `ExecPolicy::Threads(4)`
+//! must produce bit-identical predicates, ranking, and confidences on
+//! arbitrary data, and `explain_batch` must return results in case order.
+
+use dbsherlock::prelude::*;
+use proptest::prelude::*;
+
+/// A three-attribute dataset with a level shift of pseudo-random magnitude
+/// in a pseudo-random window. The deterministic "wiggle" keeps values
+/// distinct without needing an RNG inside the property.
+fn dataset_from(base: f64, jump: f64, shift_at: usize, seedish: u64) -> (Dataset, Region) {
+    let schema = Schema::from_attrs([
+        AttributeMeta::numeric("shifty"),
+        AttributeMeta::numeric("drifty"),
+        AttributeMeta::numeric("steady"),
+    ])
+    .unwrap();
+    let mut d = Dataset::new(schema);
+    let shift = shift_at..(shift_at + 20);
+    for i in 0..100usize {
+        let wiggle = (((i as u64).wrapping_mul(37).wrapping_add(seedish)) % 23) as f64 / 23.0;
+        let shifty = if shift.contains(&i) { base * jump } else { base } + wiggle;
+        let drifty = base + i as f64 * 0.01 + wiggle * 0.5;
+        let steady = 42.0 + wiggle;
+        d.push_row(i as f64, &[Value::Num(shifty), Value::Num(drifty), Value::Num(steady)])
+            .unwrap();
+    }
+    (d, Region::from_indices(shift))
+}
+
+/// An engine with enough stored models for ranking to matter, at the given
+/// execution policy.
+fn engine(exec: ExecPolicy, d: &Dataset, abnormal: &Region) -> Sherlock {
+    let params = SherlockParams::builder().exec(exec).build().unwrap();
+    let mut sherlock = Sherlock::new(params);
+    let explanation = sherlock.explain(d, abnormal, None);
+    sherlock.feedback("true cause", &explanation.predicates);
+    sherlock.feedback("same predicates, later name", &explanation.predicates);
+    sherlock.feedback("also tied", &explanation.predicates);
+    sherlock
+}
+
+/// Ranked causes with bit-exact confidences: `(cause, confidence.to_bits())`.
+type CauseBits = Vec<(String, u64)>;
+
+/// Everything observable about an explanation, bit-exact (confidences via
+/// `to_bits`, so `-0.0` vs `0.0` or any ULP drift would be caught).
+fn observe(e: &Explanation) -> (String, CauseBits, CauseBits) {
+    let bits = |causes: &[RankedCause]| {
+        causes.iter().map(|c| (c.cause.clone(), c.confidence.to_bits())).collect::<Vec<_>>()
+    };
+    (e.predicates_display(), bits(&e.causes), bits(&e.all_causes))
+}
+
+proptest! {
+    /// Serial and 4-thread explains are bit-identical on random data.
+    #[test]
+    fn explain_is_identical_across_policies(
+        base in 1.0_f64..100.0,
+        jump in 2.0_f64..10.0,
+        shift_at in 10usize..70,
+        seedish in 0u64..1000,
+    ) {
+        let (d, abnormal) = dataset_from(base, jump, shift_at, seedish);
+        let serial = engine(ExecPolicy::Serial, &d, &abnormal);
+        let threaded = engine(ExecPolicy::Threads(4), &d, &abnormal);
+        let a = serial.explain(&d, &abnormal, None);
+        let b = threaded.explain(&d, &abnormal, None);
+        prop_assert_eq!(observe(&a), observe(&b));
+    }
+
+    /// Automatic detection is policy-independent too (potential power and
+    /// the k-dist scan run on the pool).
+    #[test]
+    fn detect_is_identical_across_policies(
+        base in 1.0_f64..100.0,
+        jump in 3.0_f64..10.0,
+        seedish in 0u64..1000,
+    ) {
+        let (d, _) = dataset_from(base, jump, 40, seedish);
+        let serial = Sherlock::new(SherlockParams::default().with_exec(ExecPolicy::Serial));
+        let threaded = Sherlock::new(SherlockParams::default().with_exec(ExecPolicy::Threads(4)));
+        let a = serial.detect(&d);
+        let b = threaded.detect(&d);
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn explain_batch_preserves_input_order() {
+    // Distinguishable cases: each dataset shifts at a different row, so the
+    // result at index `i` is attributable to the case at index `i`.
+    let built: Vec<(Dataset, Region)> =
+        (0..8).map(|i| dataset_from(10.0, 5.0, 15 + 8 * i, i as u64)).collect();
+    let cases: Vec<Case<'_>> = built.iter().map(|(d, r)| Case::new(d, r)).collect();
+
+    let sherlock = Sherlock::new(SherlockParams::default().with_exec(ExecPolicy::Threads(4)));
+    let batch = sherlock.explain_batch(&cases);
+    assert_eq!(batch.len(), cases.len());
+    for ((d, r), result) in built.iter().zip(&batch) {
+        let expected = sherlock.try_explain(d, r, None).unwrap();
+        let got = result.as_ref().unwrap();
+        assert_eq!(observe(got), observe(&expected));
+    }
+}
+
+#[test]
+fn explain_batch_equals_serial_loop_bit_for_bit() {
+    let built: Vec<(Dataset, Region)> =
+        (0..5).map(|i| dataset_from(20.0, 4.0, 20 + 10 * i, 99 + i as u64)).collect();
+    let cases: Vec<Case<'_>> = built.iter().map(|(d, r)| Case::new(d, r)).collect();
+
+    let serial = engine(ExecPolicy::Serial, &built[0].0, &built[0].1);
+    let threaded = engine(ExecPolicy::Threads(4), &built[0].0, &built[0].1);
+
+    let looped: Vec<_> = cases
+        .iter()
+        .map(|c| serial.try_explain(c.dataset, c.abnormal, c.normal).unwrap())
+        .collect();
+    let batched = threaded.explain_batch(&cases);
+    for (a, b) in looped.iter().zip(&batched) {
+        assert_eq!(observe(a), observe(b.as_ref().unwrap()));
+    }
+}

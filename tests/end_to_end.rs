@@ -18,7 +18,7 @@ fn every_anomaly_class_yields_predicates() {
         // Every emitted predicate must separate strongly on its own data.
         for generated in &explanation.predicates {
             assert!(
-                generated.separation_power >= sherlock.params().min_separation_power,
+                generated.separation_power >= sherlock.params().min_separation_power(),
                 "{}: weak predicate {}",
                 kind.name(),
                 generated.predicate

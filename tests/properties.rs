@@ -170,8 +170,8 @@ proptest! {
         let normal = abnormal.complement(80);
         let params = SherlockParams::default();
         for generated in generate_predicates(&d, &abnormal, &normal, &params) {
-            prop_assert!(generated.separation_power >= params.min_separation_power);
-            prop_assert!(generated.normalized_diff > params.theta);
+            prop_assert!(generated.separation_power >= params.min_separation_power());
+            prop_assert!(generated.normalized_diff > params.theta());
         }
     }
 
