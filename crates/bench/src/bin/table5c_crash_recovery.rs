@@ -1,0 +1,341 @@
+//! Table 5c (this reproduction's extension): crash recovery and panic
+//! isolation for the hardened diagnosis runtime.
+//!
+//! Two torture chambers:
+//!
+//! 1. **Store torture** — a two-generation model store is corrupted with
+//!    every fault the [`StoreFault`] injector knows: truncation at *every*
+//!    byte offset, a bit flip at every byte, and a duplicated record. After
+//!    each fault, [`ModelStore::load`] must quarantine the damage and
+//!    recover the previous good generation (or the zero-length fresh-start
+//!    path), never crash, never return garbage.
+//! 2. **Batch poison isolation** — a 110-case `explain_batch` where 10
+//!    cases carry the in-band chaos trigger [`PANIC_ATTR`], making the real
+//!    model scorer panic on the real thread pool. The 10 poisoned slots
+//!    must surface `Err(TaskPanicked)`; the 100 clean slots must be
+//!    bit-identical to a clean serial run. A third pass blows a zero
+//!    deadline and a size budget to show deterministic degradation.
+//!
+//! Output: a summary table plus `results/BENCH_crash_recovery.json`. The
+//! process exits nonzero if a single corruption goes unrecovered or a
+//! single poisoned case escapes its slot — this is the CI smoke gate.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dbsherlock_bench::{write_json, ExperimentArgs, Table};
+use dbsherlock_core::chaos::PANIC_ATTR;
+use dbsherlock_core::{
+    Case, CausalModel, DiagnosisBudget, ExecPolicy, ModelRepository, ModelStore, Predicate,
+    Sherlock, SherlockError, SherlockParams, StoreFault,
+};
+use dbsherlock_telemetry::{AttributeMeta, Dataset, Region, Schema, Value};
+
+/// A model repository distinguishable by generation: `n_models` tells the
+/// torture loop which generation a recovered load actually came from.
+fn repo_with_models(n_models: usize) -> ModelRepository {
+    let mut repo = ModelRepository::new();
+    for i in 0..n_models {
+        repo.add(CausalModel {
+            cause: format!("cause-{i}"),
+            predicates: vec![Predicate::gt("signal", 40.0 + i as f64)],
+            merged_from: 1,
+        });
+    }
+    repo
+}
+
+struct TortureOutcome {
+    trials: usize,
+    recovered_backup: usize,
+    fresh_starts: usize,
+    quarantined: usize,
+    unrecovered: usize,
+}
+
+/// Inflict `fault` on a freshly prepared two-generation store and check the
+/// recovery ladder. "Recovered" means the load returned either the backup's
+/// generation-1 repository (1 model) or — only for faults that leave a
+/// zero-length husk with no backup, which cannot happen here — a warned
+/// fresh start. Anything else is an unrecovered corruption.
+fn torture_once(dir: &std::path::Path, full: &[u8], fault: StoreFault) -> (bool, bool, usize) {
+    let store = ModelStore::new(dir.join("models.bin"));
+    fs::write(store.path(), full).unwrap();
+    fault.apply(store.path()).unwrap();
+    let Ok((repo, report)) = store.load() else {
+        return (false, false, 0);
+    };
+    for grave in &report.quarantined {
+        let _ = fs::remove_file(grave);
+    }
+    let recovered = report.recovered_from_backup && repo.models().len() == 1;
+    // Byte 0 truncation leaves a zero-length file; with the backup present
+    // it must still recover, so a fresh start only counts when the store
+    // said so *and* warned.
+    let fresh =
+        !report.recovered_from_backup && repo.models().is_empty() && !report.warnings.is_empty();
+    (recovered, fresh, report.quarantined.len())
+}
+
+fn store_torture(dir: &std::path::Path, faults: &[StoreFault]) -> TortureOutcome {
+    // Two generations: gen 1 holds one model (the recovery target), gen 2
+    // holds two (the copy being corrupted).
+    let store = ModelStore::new(dir.join("models.bin"));
+    store.save(&repo_with_models(1)).unwrap();
+    store.save(&repo_with_models(2)).unwrap();
+    let full = fs::read(store.path()).unwrap();
+
+    let mut outcome = TortureOutcome {
+        trials: 0,
+        recovered_backup: 0,
+        fresh_starts: 0,
+        quarantined: 0,
+        unrecovered: 0,
+    };
+    for &fault in faults {
+        outcome.trials += 1;
+        let (recovered, fresh, graves) = torture_once(dir, &full, fault);
+        outcome.quarantined += graves;
+        if recovered {
+            outcome.recovered_backup += 1;
+        } else if fresh {
+            outcome.fresh_starts += 1;
+        } else {
+            outcome.unrecovered += 1;
+            eprintln!("UNRECOVERED: {fault:?}");
+        }
+    }
+    outcome
+}
+
+/// 80 rows with a signal jump in rows 30..45; `tag` varies the magnitude so
+/// cases are distinct, `poisoned` adds the chaos attribute that detonates
+/// the model scorer for this one case.
+fn case_dataset(tag: usize, poisoned: bool) -> Dataset {
+    let mut attrs = vec![AttributeMeta::numeric("signal"), AttributeMeta::numeric("steady")];
+    if poisoned {
+        attrs.push(AttributeMeta::numeric(PANIC_ATTR));
+    }
+    let schema = Schema::from_attrs(attrs).unwrap();
+    let mut d = Dataset::new(schema);
+    for i in 0..80 {
+        let abnormal = (30..45).contains(&i);
+        let jitter = ((i * 7 + tag * 13) % 10) as f64 * 0.09;
+        let signal = if abnormal { 80.0 + (tag % 7) as f64 } else { 5.0 + (i % 6) as f64 } + jitter;
+        let steady = 40.0 + (i % 3) as f64;
+        let mut row = vec![Value::Num(signal), Value::Num(steady)];
+        if poisoned {
+            row.push(Value::Num(1.0));
+        }
+        d.push_row(i as f64, &row).unwrap();
+    }
+    d
+}
+
+/// Fingerprint of an explanation for bit-identical comparison.
+fn fingerprint(e: &dbsherlock_core::Explanation) -> String {
+    let causes: Vec<String> =
+        e.all_causes.iter().map(|c| format!("{}:{:x}", c.cause, c.confidence.to_bits())).collect();
+    format!("{}|{}", e.predicates_display(), causes.join(","))
+}
+
+fn main() {
+    let _args = ExperimentArgs::parse();
+    // The chaos panics are caught at the slot boundary, but the default
+    // hook would still spam stderr once per poisoned case.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("sherlock-crash-torture-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+
+    // ---- Part 1: store torture. ----
+    let probe_store = ModelStore::new(dir.join("models.bin"));
+    probe_store.save(&repo_with_models(1)).unwrap();
+    probe_store.save(&repo_with_models(2)).unwrap();
+    let record_len = fs::read(probe_store.path()).unwrap().len();
+
+    let truncations: Vec<StoreFault> = (0..record_len).map(StoreFault::TruncateAt).collect();
+    let bitflips: Vec<StoreFault> =
+        (0..record_len).map(|byte| StoreFault::FlipBit { byte, bit: (byte % 8) as u8 }).collect();
+    let duplicates = vec![StoreFault::DuplicateRecord];
+
+    let trunc = store_torture(&dir, &truncations);
+    let flip = store_torture(&dir, &bitflips);
+    let dup = store_torture(&dir, &duplicates);
+
+    let mut table = Table::new(
+        "Table 5c — crash recovery: store faults vs recovery ladder",
+        &[
+            "Fault family",
+            "trials",
+            "recovered (.prev)",
+            "fresh start",
+            "quarantined",
+            "UNRECOVERED",
+        ],
+    );
+    for (name, o) in [("truncate@k", &trunc), ("bit-flip@k", &flip), ("duplicate record", &dup)] {
+        table.row(vec![
+            name.to_string(),
+            o.trials.to_string(),
+            o.recovered_backup.to_string(),
+            o.fresh_starts.to_string(),
+            o.quarantined.to_string(),
+            o.unrecovered.to_string(),
+        ]);
+    }
+    table.print();
+    let unrecovered_total = trunc.unrecovered + flip.unrecovered + dup.unrecovered;
+
+    // ---- Part 2: 110-case batch with 10 poisoned cases. ----
+    const BATCH: usize = 110;
+    let poisoned_at = |i: usize| i % 11 == 10; // 10 of 110
+    let datasets: Vec<Dataset> = (0..BATCH).map(|i| case_dataset(i, poisoned_at(i))).collect();
+    let abnormal = Region::from_range(30..45);
+
+    let mut repo = ModelRepository::new();
+    repo.add(CausalModel {
+        cause: "runaway batch job".to_string(),
+        predicates: vec![Predicate::gt("signal", 40.0)],
+        merged_from: 1,
+    });
+
+    let params = SherlockParams::builder().exec(ExecPolicy::Threads(4)).build().unwrap();
+    let mut sherlock = Sherlock::new(params);
+    *sherlock.repository_mut() = repo.clone();
+    let cases: Vec<Case<'_>> = datasets.iter().map(|d| Case::new(d, &abnormal)).collect();
+    let batch = sherlock.explain_batch(&cases);
+
+    // Serial clean reference for bit-identical comparison.
+    let mut serial =
+        Sherlock::new(SherlockParams::builder().exec(ExecPolicy::Serial).build().unwrap());
+    *serial.repository_mut() = repo.clone();
+
+    let mut isolated = 0usize;
+    let mut clean_matches = 0usize;
+    let mut escapes = 0usize;
+    for (i, result) in batch.iter().enumerate() {
+        if poisoned_at(i) {
+            match result {
+                Err(SherlockError::TaskPanicked { stage, .. }) if *stage == "rank" => isolated += 1,
+                other => {
+                    escapes += 1;
+                    eprintln!("case {i}: poison escaped its slot: {other:?}");
+                }
+            }
+        } else {
+            let reference = serial.try_explain(&datasets[i], &abnormal, None).unwrap();
+            match result {
+                Ok(e) if fingerprint(e) == fingerprint(&reference) => clean_matches += 1,
+                other => {
+                    escapes += 1;
+                    eprintln!("case {i}: clean case diverged from serial run: {other:?}");
+                }
+            }
+        }
+    }
+
+    // Nothing panics past this point; restore the default hook so a failed
+    // assertion prints its message.
+    let _ = std::panic::take_hook();
+
+    // ---- Part 3: deterministic budget degradation. ----
+    let expired = SherlockParams::builder()
+        .exec(ExecPolicy::Threads(4))
+        .budget(DiagnosisBudget::unlimited().with_deadline_ms(0))
+        .build()
+        .unwrap();
+    let mut blown = Sherlock::new(expired);
+    *blown.repository_mut() = repo.clone();
+    let deadline_errors = blown
+        .explain_batch(&cases)
+        .iter()
+        .filter(|r| matches!(r, Err(SherlockError::DeadlineExceeded { .. })))
+        .count();
+
+    let starved = SherlockParams::builder()
+        .budget(DiagnosisBudget::unlimited().with_max_rows(10))
+        .build()
+        .unwrap();
+    let mut tiny = Sherlock::new(starved);
+    *tiny.repository_mut() = repo;
+    let budget_errors = tiny
+        .explain_batch(&cases)
+        .iter()
+        .filter(|r| matches!(r, Err(SherlockError::BudgetExceeded { what: "rows", .. })))
+        .count();
+
+    let mut batch_table = Table::new(
+        "Table 5c — batch hardening: 110 cases, 10 poisoned",
+        &["Scenario", "cases", "expected", "observed"],
+    );
+    batch_table.row(vec![
+        "poisoned -> TaskPanicked".into(),
+        BATCH.to_string(),
+        "10".into(),
+        isolated.to_string(),
+    ]);
+    batch_table.row(vec![
+        "clean == serial run".into(),
+        BATCH.to_string(),
+        "100".into(),
+        clean_matches.to_string(),
+    ]);
+    batch_table.row(vec![
+        "deadline 0ms -> DeadlineExceeded".into(),
+        BATCH.to_string(),
+        BATCH.to_string(),
+        deadline_errors.to_string(),
+    ]);
+    batch_table.row(vec![
+        "max_rows 10 -> BudgetExceeded".into(),
+        BATCH.to_string(),
+        BATCH.to_string(),
+        budget_errors.to_string(),
+    ]);
+    batch_table.print();
+
+    write_json(
+        "BENCH_crash_recovery",
+        &serde_json::json!({
+            "record_len": record_len,
+            "store": {
+                "truncation": { "trials": trunc.trials, "recovered": trunc.recovered_backup,
+                                "fresh": trunc.fresh_starts, "unrecovered": trunc.unrecovered },
+                "bitflip": { "trials": flip.trials, "recovered": flip.recovered_backup,
+                             "fresh": flip.fresh_starts, "unrecovered": flip.unrecovered },
+                "duplicate": { "trials": dup.trials, "recovered": dup.recovered_backup,
+                               "fresh": dup.fresh_starts, "unrecovered": dup.unrecovered },
+                "quarantined": trunc.quarantined + flip.quarantined + dup.quarantined,
+            },
+            "batch": {
+                "cases": BATCH,
+                "poisoned": 10,
+                "isolated": isolated,
+                "clean_matches": clean_matches,
+                "escapes": escapes,
+                "deadline_errors": deadline_errors,
+                "budget_errors": budget_errors,
+            },
+            "unrecovered_corruptions": unrecovered_total,
+        }),
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+
+    println!(
+        "\n{} store faults, {} recovered from .prev, {} unrecovered; \
+         {isolated}/10 poisons isolated, {clean_matches}/100 clean cases bit-identical.",
+        trunc.trials + flip.trials + dup.trials,
+        trunc.recovered_backup + flip.recovered_backup + dup.recovered_backup,
+        unrecovered_total,
+    );
+    assert_eq!(unrecovered_total, 0, "store corruption went unrecovered");
+    assert_eq!(isolated, 10, "a poisoned case escaped its slot");
+    assert_eq!(clean_matches, 100, "a clean case diverged from the serial run");
+    assert_eq!(escapes, 0);
+    assert_eq!(deadline_errors, BATCH, "zero deadline must fail every case");
+    assert_eq!(budget_errors, BATCH, "max_rows=10 must reject every 80-row case");
+}

@@ -11,7 +11,9 @@
 use dbsherlock_telemetry::{Dataset, Region};
 use serde::{Deserialize, Serialize};
 
-use crate::exec::par_map_indexed;
+use crate::budget::ArmedBudget;
+use crate::error::SherlockError;
+use crate::exec::{par_map_indexed, try_par_map_indexed};
 use crate::generate::GeneratedPredicate;
 use crate::label::label_partitions;
 use crate::params::SherlockParams;
@@ -54,6 +56,9 @@ impl CausalModel {
         normal: &Region,
         params: &SherlockParams,
     ) -> f64 {
+        // Deliberate-panic hook for the crash-torture harness; a no-op for
+        // every real cause and dataset (see [`crate::chaos`]).
+        crate::chaos::scorer_tripwire(&self.cause, dataset);
         if self.predicates.is_empty() {
             return 0.0;
         }
@@ -188,6 +193,37 @@ impl ModelRepository {
         });
         ranked
     }
+
+    /// [`rank`](Self::rank) under a [`DiagnosisBudget`](crate::DiagnosisBudget):
+    /// the budget is checked before each model is scored, and a panicking
+    /// scorer is caught at its slot. A ranking that silently dropped the
+    /// model that panicked could promote the wrong cause, so the first
+    /// failure aborts the whole ranking; within budget, output is
+    /// bit-identical to [`rank`](Self::rank).
+    pub fn try_rank(
+        &self,
+        dataset: &Dataset,
+        abnormal: &Region,
+        normal: &Region,
+        params: &SherlockParams,
+        budget: &ArmedBudget,
+    ) -> Result<Vec<RankedCause>, SherlockError> {
+        let slots = try_par_map_indexed(params.exec, "rank", &self.models, |_, m| {
+            budget.check("rank")?;
+            Ok(RankedCause {
+                cause: m.cause.clone(),
+                confidence: m.confidence(dataset, abnormal, normal, params),
+            })
+        });
+        let mut ranked = Vec::with_capacity(slots.len());
+        for slot in slots {
+            ranked.push(slot?);
+        }
+        ranked.sort_by(|a, b| {
+            b.confidence.total_cmp(&a.confidence).then_with(|| a.cause.cmp(&b.cause))
+        });
+        Ok(ranked)
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +347,48 @@ mod tests {
             let names: Vec<&str> = ranked.iter().map(|r| r.cause.as_str()).collect();
             assert_eq!(names, ["alpha", "mid", "zeta"], "insertion order {order:?}");
             assert_eq!(ranked[0].confidence, ranked[2].confidence);
+        }
+    }
+
+    #[test]
+    fn try_rank_matches_rank_within_budget() {
+        let (d, abnormal, normal) = dataset();
+        let mut repo = ModelRepository::new();
+        repo.add(wrong_model());
+        repo.add(matching_model());
+        let params = SherlockParams::default();
+        let plain = repo.rank(&d, &abnormal, &normal, &params);
+        let budgeted =
+            repo.try_rank(&d, &abnormal, &normal, &params, &ArmedBudget::unlimited()).unwrap();
+        assert_eq!(plain, budgeted);
+    }
+
+    #[test]
+    fn try_rank_surfaces_a_panicking_scorer() {
+        let (d, abnormal, normal) = dataset();
+        let mut repo = ModelRepository::new();
+        repo.add(matching_model());
+        repo.add(CausalModel {
+            cause: crate::chaos::PANIC_CAUSE.into(),
+            predicates: vec![Predicate::gt("hot", 0.0)],
+            merged_from: 1,
+        });
+        let params = SherlockParams::default(); // serial in-test resolve is fine
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = repo.try_rank(
+            &d,
+            &abnormal,
+            &normal,
+            &params.with_exec(crate::exec::ExecPolicy::Serial),
+            &ArmedBudget::unlimited(),
+        );
+        std::panic::set_hook(hook);
+        match result {
+            Err(SherlockError::TaskPanicked { stage: "rank", message }) => {
+                assert!(message.contains("chaos"), "{message}");
+            }
+            other => panic!("expected TaskPanicked, got {other:?}"),
         }
     }
 

@@ -1,0 +1,71 @@
+//! Chaos hooks for torturing the diagnosis pipeline itself.
+//!
+//! The telemetry layer's fault injector (PR 1) proves the engine survives
+//! corrupted *input*; this module proves it survives corrupted *code paths*.
+//! The crash-torture harness (`table5c_crash_recovery`) and the panic-
+//! isolation tests need a way to make a real pipeline stage panic on demand
+//! — not a mock, the actual model scorer on the actual thread pool — so the
+//! per-slot `catch_unwind` boundary in [`crate::exec::try_par_map_indexed`]
+//! is exercised exactly where a latent bug would detonate in production.
+//!
+//! Two in-band triggers, both spelled so no real workload collides with
+//! them:
+//!
+//! * a causal model whose cause label is [`PANIC_CAUSE`] panics when scored;
+//! * any model panics when scored against a dataset carrying an attribute
+//!   named [`PANIC_ATTR`] (poisons one *case* of a batch rather than one
+//!   model).
+//!
+//! The tripwire is deliberate, documented behavior — the diagnosis-pipeline
+//! analogue of `FaultPlan` — and is the only sanctioned `panic!` in this
+//! crate's library code.
+
+use dbsherlock_telemetry::Dataset;
+
+/// Cause label that makes [`CausalModel::confidence`](crate::CausalModel)
+/// panic deliberately.
+pub const PANIC_CAUSE: &str = "__sherlock_chaos::panic_scorer__";
+
+/// Attribute name that makes scoring any model against the carrying dataset
+/// panic deliberately (poisons a whole case).
+pub const PANIC_ATTR: &str = "__sherlock_chaos::panic_attr__";
+
+/// The scorer's tripwire: panics iff a chaos trigger is present. Called at
+/// the top of confidence scoring; a no-op for every real cause and dataset.
+pub(crate) fn scorer_tripwire(cause: &str, dataset: &Dataset) {
+    if cause == PANIC_CAUSE {
+        // sherlock-lint: allow(panic-path): deliberate chaos tripwire (see module docs)
+        panic!("chaos: deliberate panic scoring model {PANIC_CAUSE:?}");
+    }
+    if dataset.schema().id_of(PANIC_ATTR).is_some() {
+        // sherlock-lint: allow(panic-path): deliberate chaos tripwire (see module docs)
+        panic!("chaos: deliberate panic scoring against a {PANIC_ATTR:?} dataset");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsherlock_telemetry::{AttributeMeta, Schema};
+
+    fn dataset_with(attr: &str) -> Dataset {
+        Dataset::new(Schema::from_attrs([AttributeMeta::numeric(attr)]).unwrap())
+    }
+
+    #[test]
+    fn silent_for_real_workloads() {
+        scorer_tripwire("lock contention", &dataset_with("cpu_user"));
+    }
+
+    #[test]
+    #[should_panic(expected = "chaos: deliberate panic scoring model")]
+    fn cause_trigger_fires() {
+        scorer_tripwire(PANIC_CAUSE, &dataset_with("cpu_user"));
+    }
+
+    #[test]
+    #[should_panic(expected = "panic_attr")]
+    fn attribute_trigger_fires() {
+        scorer_tripwire("real cause", &dataset_with(PANIC_ATTR));
+    }
+}

@@ -21,7 +21,9 @@
 use dbsherlock_cluster::{dbscan, kdist_of, rows_from_columns, Label};
 use dbsherlock_telemetry::{stats, AttributeKind, Dataset, Region};
 
-use crate::exec::par_map_indexed;
+use crate::budget::ArmedBudget;
+use crate::error::SherlockError;
+use crate::exec::try_par_map_indexed;
 use crate::params::SherlockParams;
 
 /// Potential power of a normalized series (Eq. 4): the largest absolute
@@ -44,18 +46,28 @@ pub fn potential_power(normalized: &[f64], tau: usize) -> f64 {
 /// Attribute ids whose potential power exceeds `PP_t`, with their
 /// normalized columns. The per-attribute median filter is the detector's
 /// first O(rows × attrs) stage, so it fans out across the thread budget;
-/// collection by index keeps schema order.
-fn select_attributes(dataset: &Dataset, params: &SherlockParams) -> Vec<(usize, Vec<f64>)> {
+/// collection by index keeps schema order. Budget-checked per attribute;
+/// panics are caught at the attribute slot.
+fn select_attributes(
+    dataset: &Dataset,
+    params: &SherlockParams,
+    budget: &ArmedBudget,
+) -> Result<Vec<(usize, Vec<f64>)>, SherlockError> {
     let numeric = dataset.schema().ids_of_kind(AttributeKind::Numeric);
-    par_map_indexed(params.exec, &numeric, |_, &attr_id| {
-        let values = dataset.numeric(attr_id).ok()?;
+    let slots = try_par_map_indexed(params.exec, "detect", &numeric, |_, &attr_id| {
+        budget.check("detect")?;
+        let Ok(values) = dataset.numeric(attr_id) else { return Ok(None) };
         let normalized = stats::normalize_slice(values);
         let pp = potential_power(&normalized, params.tau);
-        (pp > params.pp_t).then_some((attr_id, normalized))
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+        Ok((pp > params.pp_t).then_some((attr_id, normalized)))
+    });
+    let mut selected = Vec::new();
+    for slot in slots {
+        if let Some(entry) = slot? {
+            selected.push(entry);
+        }
+    }
+    Ok(selected)
 }
 
 /// Result of automatic detection.
@@ -70,24 +82,49 @@ pub struct Detection {
 /// Run automatic anomaly detection over `dataset`. Returns `None` when no
 /// attribute shows enough potential power or when clustering finds nothing
 /// small enough to call anomalous.
+///
+/// Runs with an unlimited budget, and degrades an internal failure (a
+/// caught panic) to `None` — detection is advisory, so "nothing detected"
+/// is its graceful floor. Callers that need the distinction, or a real
+/// budget, use [`try_detect_anomaly`].
 pub fn detect_anomaly(dataset: &Dataset, params: &SherlockParams) -> Option<Detection> {
-    let selected = select_attributes(dataset, params);
+    try_detect_anomaly(dataset, params, &ArmedBudget::unlimited()).unwrap_or(None)
+}
+
+/// [`detect_anomaly`] under a [`DiagnosisBudget`](crate::DiagnosisBudget):
+/// cooperative deadline/cancellation checks before each attribute's median
+/// filter and each point's k-dist scan, size admission up front, and
+/// per-slot panic isolation. Within budget, output is identical to
+/// [`detect_anomaly`].
+pub fn try_detect_anomaly(
+    dataset: &Dataset,
+    params: &SherlockParams,
+    budget: &ArmedBudget,
+) -> Result<Option<Detection>, SherlockError> {
+    budget.admit(dataset.n_rows(), params.n_partitions)?;
+    let selected = select_attributes(dataset, params, budget)?;
     if selected.is_empty() {
-        return None;
+        return Ok(None);
     }
     let columns: Vec<&[f64]> = selected.iter().map(|(_, col)| col.as_slice()).collect();
     let points = rows_from_columns(&columns);
     if points.len() < params.min_pts {
-        return None;
+        return Ok(None);
     }
     // O(n²) pairwise scan, one independent row per point: the detector's
     // dominant cost, mapped across the thread budget.
     let indices: Vec<usize> = (0..points.len()).collect();
-    let lk: Vec<f64> =
-        par_map_indexed(params.exec, &indices, |_, &i| kdist_of(&points, i, params.min_pts));
+    let lk_slots = try_par_map_indexed(params.exec, "detect", &indices, |_, &i| {
+        budget.check("detect")?;
+        Ok(kdist_of(&points, i, params.min_pts))
+    });
+    let mut lk: Vec<f64> = Vec::with_capacity(lk_slots.len());
+    for slot in lk_slots {
+        lk.push(slot?);
+    }
     let max_lk = lk.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if max_lk <= 0.0 || !max_lk.is_finite() {
-        return None;
+        return Ok(None);
     }
     // The paper's rule with a local-density floor (see module docs): ε
     // never drops below twice the 99th percentile of L_k, so clusters stay
@@ -109,12 +146,12 @@ pub fn detect_anomaly(dataset: &Dataset, params: &SherlockParams) -> Option<Dete
         }
     }
     if rows.is_empty() || rows.len() >= n {
-        return None;
+        return Ok(None);
     }
-    Some(Detection {
+    Ok(Some(Detection {
         region: Region::from_indices(rows),
         selected_attrs: selected.into_iter().map(|(id, _)| id).collect(),
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -183,6 +220,28 @@ mod tests {
         let noise_id = d.schema().id_of("noise").unwrap();
         assert!(!detection.selected_attrs.contains(&noise_id));
         assert_eq!(detection.selected_attrs.len(), 2);
+    }
+
+    #[test]
+    fn budgeted_detect_matches_unbudgeted_and_enforces_limits() {
+        let (d, _) = dataset_with_shift();
+        let params = SherlockParams::default();
+        let plain = detect_anomaly(&d, &params);
+        let budgeted =
+            try_detect_anomaly(&d, &params, &crate::budget::ArmedBudget::unlimited()).unwrap();
+        assert_eq!(plain, budgeted);
+        assert!(plain.is_some());
+
+        let tight = crate::budget::DiagnosisBudget::unlimited().with_max_rows(10).arm();
+        assert!(matches!(
+            try_detect_anomaly(&d, &params, &tight),
+            Err(SherlockError::BudgetExceeded { what: "rows", .. })
+        ));
+        let expired = crate::budget::DiagnosisBudget::unlimited().with_deadline_ms(0).arm();
+        assert!(matches!(
+            try_detect_anomaly(&d, &params, &expired),
+            Err(SherlockError::DeadlineExceeded { stage: "detect", .. })
+        ));
     }
 
     #[test]

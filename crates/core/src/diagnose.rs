@@ -15,12 +15,13 @@
 use dbsherlock_telemetry::{Dataset, Region};
 
 use crate::actions::{ActionLog, Remediation};
+use crate::budget::ArmedBudget;
 use crate::causal::{CausalModel, ModelRepository, RankedCause};
-use crate::detect::{detect_anomaly, Detection};
+use crate::detect::{try_detect_anomaly, Detection};
 use crate::domain::DomainKnowledge;
 use crate::error::SherlockError;
-use crate::exec::{par_map_indexed, ExecPolicy};
-use crate::generate::{generate_predicates, GeneratedPredicate};
+use crate::exec::{try_par_map_indexed, ExecPolicy};
+use crate::generate::{try_generate_predicates, GeneratedPredicate};
 use crate::params::SherlockParams;
 use crate::predicate::display_conjunction;
 
@@ -129,48 +130,60 @@ impl Sherlock {
         abnormal: &Region,
         normal: Option<&Region>,
     ) -> Explanation {
-        self.explain_with(dataset, abnormal, normal, &self.params).unwrap_or(Explanation {
+        self.try_explain(dataset, abnormal, normal).unwrap_or(Explanation {
             predicates: Vec::new(),
             causes: Vec::new(),
             all_causes: Vec::new(),
         })
     }
 
-    /// [`explain`](Self::explain) that reports degenerate input instead of
-    /// returning an empty explanation.
+    /// [`explain`](Self::explain) that reports degenerate input — and
+    /// blown budgets or caught pipeline panics — instead of returning an
+    /// empty explanation. The budget of [`SherlockParams::budget`] is
+    /// armed here, so its deadline covers this one call.
     pub fn try_explain(
         &self,
         dataset: &Dataset,
         abnormal: &Region,
         normal: Option<&Region>,
     ) -> Result<Explanation, SherlockError> {
-        self.explain_with(dataset, abnormal, normal, &self.params)
+        let armed = self.params.budget.arm();
+        self.explain_with(dataset, abnormal, normal, &self.params, &armed)
     }
 
     /// Diagnose many cases, fanning them out across the thread budget of
     /// [`SherlockParams::exec`]. Results come back in input order, one per
-    /// case; a degenerate case yields its own error without disturbing its
-    /// neighbours. Within each case the pipeline runs serially — the batch
-    /// is the unit of parallelism, so output is identical to calling
-    /// [`try_explain`](Self::try_explain) in a loop.
+    /// case; a degenerate, over-budget, or even *panicking* case yields its
+    /// own error without disturbing its neighbours — each case runs behind
+    /// a panic-isolation boundary, and surviving cases are bit-identical to
+    /// a clean serial run. Within each case the pipeline runs serially —
+    /// the batch is the unit of parallelism, so output is identical to
+    /// calling [`try_explain`](Self::try_explain) in a loop.
+    ///
+    /// The budget is armed once for the whole batch: a wall-clock deadline
+    /// bounds the batch, degrading it to partial ranked results (cases that
+    /// finished in time) plus per-case `DeadlineExceeded` errors.
     pub fn explain_batch(&self, cases: &[Case<'_>]) -> Vec<Result<Explanation, SherlockError>> {
         // Parallelism lives at the case level; nested per-attribute fan-out
         // would oversubscribe the pool.
         let inner = self.params.clone().with_exec(ExecPolicy::Serial);
-        par_map_indexed(self.params.exec, cases, |_, case| {
-            self.explain_with(case.dataset, case.abnormal, case.normal, &inner)
+        let armed = self.params.budget.arm();
+        try_par_map_indexed(self.params.exec, "case", cases, |_, case| {
+            self.explain_with(case.dataset, case.abnormal, case.normal, &inner, &armed)
         })
     }
 
     /// The single-case pipeline, parameterized so batch mode can force the
-    /// inner stages serial.
+    /// inner stages serial and share one armed budget across cases.
     fn explain_with(
         &self,
         dataset: &Dataset,
         abnormal: &Region,
         normal: Option<&Region>,
         params: &SherlockParams,
+        budget: &ArmedBudget,
     ) -> Result<Explanation, SherlockError> {
+        budget.admit(dataset.n_rows(), params.n_partitions)?;
         if dataset.n_rows() == 0 {
             return Err(SherlockError::EmptyInput("dataset"));
         }
@@ -189,9 +202,9 @@ impl Sherlock {
             return Err(SherlockError::EmptyRegion { what: "normal", n_rows });
         }
         let normal = &normal;
-        let raw = generate_predicates(dataset, abnormal, normal, params);
+        let raw = try_generate_predicates(dataset, abnormal, normal, params, budget)?;
         let predicates = self.domain.prune(dataset, raw, params);
-        let all_causes = self.repository.rank(dataset, abnormal, normal, params);
+        let all_causes = self.repository.try_rank(dataset, abnormal, normal, params, budget)?;
         let causes = all_causes.iter().filter(|c| c.confidence >= params.lambda).cloned().collect();
         Ok(Explanation { predicates, causes, all_causes })
     }
@@ -226,9 +239,20 @@ impl Sherlock {
         &self.actions
     }
 
-    /// Automatic anomaly detection (§7).
+    /// Automatic anomaly detection (§7). Advisory: an over-budget or
+    /// internally failing run degrades to `None`; use
+    /// [`try_detect`](Self::try_detect) to see the error.
     pub fn detect(&self, dataset: &Dataset) -> Option<Detection> {
-        detect_anomaly(dataset, &self.params)
+        self.try_detect(dataset).unwrap_or(None)
+    }
+
+    /// [`detect`](Self::detect) under the engine's
+    /// [`DiagnosisBudget`](crate::DiagnosisBudget), surfacing blown
+    /// deadlines, size-limit rejections, and caught panics instead of
+    /// swallowing them.
+    pub fn try_detect(&self, dataset: &Dataset) -> Result<Option<Detection>, SherlockError> {
+        let armed = self.params.budget.arm();
+        try_detect_anomaly(dataset, &self.params, &armed)
     }
 }
 
@@ -420,6 +444,63 @@ mod tests {
                 single.causes.iter().map(|c| (c.cause.clone(), c.confidence)).collect();
             assert_eq!(causes, expect);
         }
+    }
+
+    #[test]
+    fn explain_batch_isolates_a_panicking_scorer_to_its_slot() {
+        let (d, abnormal) = dataset();
+        // A second dataset carrying the chaos attribute: scoring any model
+        // against it panics inside the real rank stage.
+        let schema = Schema::from_attrs([
+            AttributeMeta::numeric("signal"),
+            AttributeMeta::numeric(crate::chaos::PANIC_ATTR),
+        ])
+        .unwrap();
+        let mut poisoned = Dataset::new(schema);
+        for i in 0..80 {
+            let signal = if (30..45).contains(&i) { 80.0 } else { 5.0 } + (i % 4) as f64;
+            poisoned.push_row(i as f64, &[Value::Num(signal), Value::Num(1.0)]).unwrap();
+        }
+
+        let mut sherlock = Sherlock::new(SherlockParams::default());
+        let first = sherlock.explain(&d, &abnormal, None);
+        sherlock.feedback("cache stampede", &first.predicates);
+
+        let cases =
+            [Case::new(&d, &abnormal), Case::new(&poisoned, &abnormal), Case::new(&d, &abnormal)];
+        // The deliberate panic is caught, but the default hook would still
+        // print a backtrace per poisoned case.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let results = sherlock.explain_batch(&cases);
+        std::panic::set_hook(hook);
+
+        assert!(matches!(
+            &results[1],
+            Err(SherlockError::TaskPanicked { stage: "rank", message }) if message.contains("chaos")
+        ));
+        // The neighbours are untouched and identical to a clean run.
+        let clean = sherlock.explain(&d, &abnormal, None);
+        for i in [0, 2] {
+            let e = results[i].as_ref().unwrap();
+            assert_eq!(e.predicates_display(), clean.predicates_display());
+            assert_eq!(e.causes.len(), clean.causes.len());
+        }
+    }
+
+    #[test]
+    fn explain_batch_deadline_degrades_to_per_case_errors() {
+        let (d, abnormal) = dataset();
+        let params = SherlockParams::default()
+            .with_budget(crate::budget::DiagnosisBudget::unlimited().with_deadline_ms(0));
+        let sherlock = Sherlock::new(params);
+        let cases = [Case::new(&d, &abnormal), Case::new(&d, &abnormal)];
+        for result in sherlock.explain_batch(&cases) {
+            assert!(matches!(result, Err(SherlockError::DeadlineExceeded { .. })));
+        }
+        // try_detect honours the same budget; plain detect degrades to None.
+        assert!(matches!(sherlock.try_detect(&d), Err(SherlockError::DeadlineExceeded { .. })));
+        assert!(sherlock.detect(&d).is_none());
     }
 
     #[test]

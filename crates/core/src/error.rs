@@ -40,6 +40,52 @@ pub enum SherlockError {
     },
     /// A failure bubbled up from the telemetry layer.
     Telemetry(TelemetryError),
+    /// A pipeline task panicked. The panic was caught at the slot boundary
+    /// (see [`crate::exec::try_par_map_indexed`]) so the rest of the batch
+    /// kept its results; only the offending slot carries this error.
+    TaskPanicked {
+        /// Pipeline stage that hosted the panicking task.
+        stage: &'static str,
+        /// The panic payload, rendered (message of `panic!`, or a
+        /// placeholder for non-string payloads).
+        message: String,
+    },
+    /// The wall-clock deadline of the [`crate::DiagnosisBudget`] expired
+    /// before this stage could run. Results produced by slots that finished
+    /// in time are unaffected.
+    DeadlineExceeded {
+        /// Pipeline stage at which the cooperative check fired.
+        stage: &'static str,
+        /// The configured deadline, in milliseconds.
+        budget_ms: u64,
+    },
+    /// An input exceeded a hard size limit of the
+    /// [`crate::DiagnosisBudget`] and was rejected up front (runaway-input
+    /// protection; deterministic, unlike the wall-clock deadline).
+    BudgetExceeded {
+        /// Which limit: "rows" or "partitions".
+        what: &'static str,
+        /// The offending size.
+        actual: usize,
+        /// The configured maximum.
+        limit: usize,
+    },
+    /// The [`crate::CancelFlag`] of the budget was raised; the diagnosis
+    /// stopped cooperatively at the next stage boundary.
+    Cancelled {
+        /// Pipeline stage at which the cooperative check fired.
+        stage: &'static str,
+    },
+    /// The crash-safe [`crate::ModelStore`] could not complete an
+    /// operation. Corruption is *not* reported here — a corrupt file is
+    /// quarantined and recovery proceeds; this variant covers real I/O or
+    /// serialization failures that leave nothing to recover with.
+    Store {
+        /// Path of the store file involved.
+        path: String,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SherlockError {
@@ -56,6 +102,19 @@ impl fmt::Display for SherlockError {
                 write!(f, "{what} region is empty after clipping to {n_rows} rows")
             }
             SherlockError::Telemetry(e) => write!(f, "telemetry error: {e}"),
+            SherlockError::TaskPanicked { stage, message } => {
+                write!(f, "task panicked during {stage}: {message}")
+            }
+            SherlockError::DeadlineExceeded { stage, budget_ms } => {
+                write!(f, "deadline of {budget_ms} ms exceeded at {stage}")
+            }
+            SherlockError::BudgetExceeded { what, actual, limit } => {
+                write!(f, "budget exceeded: {actual} {what} > limit of {limit}")
+            }
+            SherlockError::Cancelled { stage } => write!(f, "diagnosis cancelled at {stage}"),
+            SherlockError::Store { path, detail } => {
+                write!(f, "model store failure at {path}: {detail}")
+            }
         }
     }
 }
@@ -89,6 +148,18 @@ mod tests {
         assert!(e.to_string().contains("theta"));
         let e = SherlockError::EmptyRegion { what: "abnormal", n_rows: 42 };
         assert!(e.to_string().contains("abnormal") && e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn hardening_variants_display_their_anchors() {
+        let e = SherlockError::TaskPanicked { stage: "rank", message: "boom".into() };
+        assert!(e.to_string().contains("rank") && e.to_string().contains("boom"));
+        let e = SherlockError::DeadlineExceeded { stage: "generate", budget_ms: 250 };
+        assert!(e.to_string().contains("250") && e.to_string().contains("generate"));
+        let e = SherlockError::BudgetExceeded { what: "rows", actual: 9000, limit: 100 };
+        assert!(e.to_string().contains("9000") && e.to_string().contains("rows"));
+        let e = SherlockError::Cancelled { stage: "detect" };
+        assert!(e.to_string().contains("detect"));
     }
 
     #[test]

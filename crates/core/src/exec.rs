@@ -15,6 +15,19 @@
 //! Raw `std::thread::spawn` / `std::thread::scope` elsewhere in the workspace
 //! is rejected by sherlock-lint's `raw-spawn` rule; route new parallelism
 //! through here.
+//!
+//! Two mapping primitives share the same deterministic round-robin schedule:
+//!
+//! * [`par_map_indexed`] — infallible `f`; a panic in any task propagates to
+//!   the caller exactly as the serial loop would surface it.
+//! * [`try_par_map_indexed`] — fallible `f`; a panic in any task is caught at
+//!   the slot boundary and surfaced as that slot's
+//!   [`SherlockError::TaskPanicked`], so one poisoned input can never take
+//!   down the rest of a batch.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::error::SherlockError;
 
 /// How many worker threads a pipeline stage may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -104,6 +117,82 @@ where
     indexed.into_iter().map(|(_, value)| value).collect()
 }
 
+/// Render a caught panic payload as a human-readable message.
+///
+/// `panic!("...")` carries a `&'static str` or (with formatting) a `String`;
+/// anything else gets a placeholder rather than being dropped silently.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`par_map_indexed`] for fallible tasks, with per-slot panic isolation.
+///
+/// Each task runs under [`std::panic::catch_unwind`]: a panic becomes that
+/// slot's [`SherlockError::TaskPanicked`] (tagged with `stage`) instead of
+/// aborting the whole map. Results come back in input order under any
+/// [`ExecPolicy`], exactly like [`par_map_indexed`] — the serial and
+/// threaded paths share the same isolation semantics, which the determinism
+/// suite asserts.
+pub fn try_par_map_indexed<T, U, F>(
+    policy: ExecPolicy,
+    stage: &'static str,
+    items: &[T],
+    f: F,
+) -> Vec<Result<U, SherlockError>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> Result<U, SherlockError> + Sync,
+{
+    // `f` only sees `&T` and shared captures; if a panic tears its internal
+    // state mid-task, the whole slot is discarded as `TaskPanicked`, so no
+    // broken invariant is ever observed afterwards.
+    let guarded = |i: usize, item: &T| {
+        catch_unwind(AssertUnwindSafe(|| f(i, item))).unwrap_or_else(|payload| {
+            Err(SherlockError::TaskPanicked { stage, message: panic_message(payload.as_ref()) })
+        })
+    };
+    let threads = policy.resolve().min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, item)| guarded(i, item)).collect();
+    }
+
+    let mut indexed: Vec<(usize, Result<U, SherlockError>)> = Vec::with_capacity(items.len());
+    // sherlock-lint: allow(raw-spawn): second sanctioned spawn site (fallible twin)
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let guarded = &guarded;
+                scope.spawn(move || {
+                    items
+                        .iter()
+                        .enumerate()
+                        .skip(tid)
+                        .step_by(threads)
+                        .map(|(i, item)| (i, guarded(i, item)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            // Task panics are caught inside `guarded`; a join failure here
+            // would mean the scope machinery itself died, which `scope`
+            // already escalates.
+            if let Ok(chunk) = handle.join() {
+                indexed.extend(chunk);
+            }
+        }
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, value)| value).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +232,94 @@ mod tests {
         let items = [1, 2, 3];
         let out = par_map_indexed(ExecPolicy::Threads(64), &items, |_, x| x * 2);
         assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    /// Run `f` with panic-hook output silenced (the default hook prints
+    /// every caught panic to stderr, which drowns deliberate-panic tests).
+    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    #[test]
+    fn try_map_matches_infallible_map_on_clean_input() {
+        let items: Vec<u64> = (0..57).collect();
+        let serial =
+            try_par_map_indexed(ExecPolicy::Serial, "t", &items, |i, x| Ok((i as u64) * 100 + x));
+        for threads in [2, 5, 64] {
+            let parallel =
+                try_par_map_indexed(ExecPolicy::Threads(threads), "t", &items, |i, x| {
+                    Ok((i as u64) * 100 + x)
+                });
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+        let plain = par_map_indexed(ExecPolicy::Serial, &items, |i, x| (i as u64) * 100 + x);
+        let unwrapped: Vec<u64> = serial.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(unwrapped, plain);
+    }
+
+    #[test]
+    fn panics_are_isolated_per_slot() {
+        let items: Vec<u32> = (0..20).collect();
+        for policy in [ExecPolicy::Serial, ExecPolicy::Threads(4)] {
+            let results = quiet_panics(|| {
+                try_par_map_indexed(policy, "square", &items, |_, &x| {
+                    if x % 7 == 3 {
+                        panic!("poison at {x}");
+                    }
+                    Ok(x * x)
+                })
+            });
+            for (i, result) in results.iter().enumerate() {
+                if i % 7 == 3 {
+                    match result {
+                        Err(SherlockError::TaskPanicked { stage, message }) => {
+                            assert_eq!(*stage, "square");
+                            assert_eq!(message, &format!("poison at {i}"));
+                        }
+                        other => panic!("slot {i}: expected TaskPanicked, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(result.as_ref().unwrap(), &((i * i) as u32), "{policy}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn errors_pass_through_untouched() {
+        let items = [1u8, 2, 3];
+        let results = try_par_map_indexed(ExecPolicy::Threads(2), "s", &items, |_, &x| {
+            if x == 2 {
+                Err(SherlockError::EmptyInput("two"))
+            } else {
+                Ok(x)
+            }
+        });
+        assert!(matches!(results[1], Err(SherlockError::EmptyInput("two"))));
+        assert_eq!(results[0], Ok(1));
+        assert_eq!(results[2], Ok(3));
+    }
+
+    #[test]
+    fn non_string_panic_payloads_get_a_placeholder() {
+        let results = quiet_panics(|| {
+            try_par_map_indexed(
+                ExecPolicy::Serial,
+                "s",
+                &[0u8],
+                |_, _| -> Result<u8, SherlockError> { std::panic::panic_any(42_i32) },
+            )
+        });
+        match &results[0] {
+            Err(SherlockError::TaskPanicked { message, .. }) => {
+                assert_eq!(message, "non-string panic payload");
+            }
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
     }
 
     #[test]

@@ -8,7 +8,9 @@
 
 use dbsherlock_telemetry::{AttributeKind, AttributeMeta, Dataset, Region};
 
-use crate::exec::par_map_indexed;
+use crate::budget::ArmedBudget;
+use crate::error::SherlockError;
+use crate::exec::{par_map_indexed, try_par_map_indexed};
 use crate::extract::{extract_categorical, extract_numeric, normalized_mean_difference};
 use crate::fill::fill_gaps;
 use crate::filter::filter_partitions;
@@ -76,6 +78,46 @@ pub fn generate_predicates_ablated(
     .into_iter()
     .flatten()
     .collect()
+}
+
+/// [`generate_predicates`] under a [`DiagnosisBudget`](crate::DiagnosisBudget):
+/// the budget is checked before each attribute's run of Algorithm 1, and a
+/// panic while processing any attribute is caught at that slot instead of
+/// tearing down the caller. The first failure aborts the case (a partial
+/// predicate conjunction would be a *wrong* answer, not a degraded one);
+/// within budget, output is bit-identical to [`generate_predicates`].
+pub fn try_generate_predicates(
+    dataset: &Dataset,
+    abnormal: &Region,
+    normal: &Region,
+    params: &SherlockParams,
+    budget: &ArmedBudget,
+) -> Result<Vec<GeneratedPredicate>, SherlockError> {
+    let abnormal = &abnormal.clip(dataset.n_rows());
+    let normal = &normal.clip(dataset.n_rows());
+    if abnormal.is_empty() || normal.is_empty() {
+        return Ok(Vec::new());
+    }
+    let attrs: Vec<(usize, &AttributeMeta)> = dataset.schema().iter().collect();
+    let per_attr = try_par_map_indexed(params.exec, "generate", &attrs, |_, &(attr_id, attr)| {
+        budget.check("generate")?;
+        Ok(extract_for_attribute(
+            dataset,
+            attr_id,
+            attr,
+            abnormal,
+            normal,
+            params,
+            AblationFlags::default(),
+        ))
+    });
+    let mut predicates = Vec::new();
+    for slot in per_attr {
+        if let Some(generated) = slot? {
+            predicates.push(generated);
+        }
+    }
+    Ok(predicates)
 }
 
 /// Algorithm 1 for a single attribute: partition, label, (numeric) filter and
@@ -203,6 +245,26 @@ mod tests {
         let params = SherlockParams::default();
         assert!(generate_predicates(&d, &Region::new(), &abnormal, &params).is_empty());
         assert!(generate_predicates(&d, &abnormal, &Region::new(), &params).is_empty());
+    }
+
+    #[test]
+    fn budgeted_generate_matches_unbudgeted_within_budget() {
+        let (d, abnormal, normal) = dataset();
+        let params = SherlockParams::default();
+        let plain = generate_predicates(&d, &abnormal, &normal, &params);
+        let budgeted =
+            try_generate_predicates(&d, &abnormal, &normal, &params, &ArmedBudget::unlimited())
+                .unwrap();
+        assert_eq!(plain, budgeted);
+    }
+
+    #[test]
+    fn blown_deadline_aborts_the_case() {
+        let (d, abnormal, normal) = dataset();
+        let params = SherlockParams::default();
+        let armed = crate::budget::DiagnosisBudget::unlimited().with_deadline_ms(0).arm();
+        let result = try_generate_predicates(&d, &abnormal, &normal, &params, &armed);
+        assert!(matches!(result, Err(SherlockError::DeadlineExceeded { stage: "generate", .. })));
     }
 
     #[test]

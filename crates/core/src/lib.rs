@@ -47,7 +47,9 @@
 //! ```
 
 pub mod actions;
+pub mod budget;
 pub mod causal;
+pub mod chaos;
 pub mod detect;
 pub mod diagnose;
 pub mod domain;
@@ -63,22 +65,26 @@ pub mod params;
 pub mod partition;
 pub mod predicate;
 pub mod separation;
+pub mod store;
 
 pub use actions::{ActionLog, AutoAction, AutoRemediationPolicy, Decision, Remediation};
+pub use budget::{ArmedBudget, CancelFlag, DiagnosisBudget};
 pub use causal::{Accuracy, CausalModel, ModelRepository, RankedCause};
-pub use detect::{detect_anomaly, potential_power, Detection};
+pub use detect::{detect_anomaly, potential_power, try_detect_anomaly, Detection};
 pub use diagnose::{Case, Explanation, Sherlock};
 pub use domain::{independence_factor, DomainKnowledge, Rule};
 pub use error::SherlockError;
-pub use exec::{par_map_indexed, ExecPolicy};
+pub use exec::{par_map_indexed, try_par_map_indexed, ExecPolicy};
 pub use generate::{
-    generate_predicates, generate_predicates_ablated, AblationFlags, GeneratedPredicate,
+    generate_predicates, generate_predicates_ablated, try_generate_predicates, AblationFlags,
+    GeneratedPredicate,
 };
 pub use merge::{merge_all, merge_models, merge_predicates};
 pub use params::{SherlockParams, SherlockParamsBuilder};
 pub use partition::{PartitionLabel, PartitionSpace};
 pub use predicate::{display_conjunction, Predicate, PredicateOp};
 pub use separation::{partition_separation_power, separation_power};
+pub use store::{ModelStore, StoreFault, StoreReport};
 
 /// The convenient single import for typical users of the engine.
 ///
@@ -88,9 +94,11 @@ pub use separation::{partition_separation_power, separation_power};
 /// let _sherlock = Sherlock::new(params);
 /// ```
 pub mod prelude {
+    pub use crate::budget::{CancelFlag, DiagnosisBudget};
     pub use crate::diagnose::{Case, Explanation, Sherlock};
     pub use crate::error::SherlockError;
     pub use crate::exec::ExecPolicy;
     pub use crate::generate::GeneratedPredicate;
+    pub use crate::store::ModelStore;
     pub use crate::{RankedCause, SherlockParams, SherlockParamsBuilder};
 }

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::budget::DiagnosisBudget;
 use crate::error::SherlockError;
 use crate::exec::ExecPolicy;
 
@@ -62,6 +63,13 @@ pub struct SherlockParams {
     /// [`ExecPolicy::Auto`] on deserialize.
     #[serde(skip)]
     pub(crate) exec: ExecPolicy,
+    /// Resource budget for a diagnosis: wall-clock deadline, size limits,
+    /// cooperative cancellation (see [`DiagnosisBudget`]). Like `exec`, an
+    /// operational knob rather than an algorithm knob: whatever completes
+    /// within budget is bit-identical to the unbudgeted run, so it is
+    /// excluded from serialization and defaults to unlimited.
+    #[serde(skip)]
+    pub(crate) budget: DiagnosisBudget,
 }
 
 impl Default for SherlockParams {
@@ -79,6 +87,7 @@ impl Default for SherlockParams {
             min_pts: 3,
             max_anomaly_fraction: 0.2,
             exec: ExecPolicy::Auto,
+            budget: DiagnosisBudget::unlimited(),
         }
     }
 }
@@ -158,6 +167,11 @@ impl SherlockParams {
         self.exec
     }
 
+    /// Resource budget for a diagnosis.
+    pub fn budget(&self) -> &DiagnosisBudget {
+        &self.budget
+    }
+
     /// Builder-style override of `θ`.
     pub fn with_theta(mut self, theta: f64) -> Self {
         self.theta = theta;
@@ -185,6 +199,12 @@ impl SherlockParams {
     /// Builder-style override of the execution policy.
     pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Builder-style override of the diagnosis budget.
+    pub fn with_budget(mut self, budget: DiagnosisBudget) -> Self {
+        self.budget = budget;
         self
     }
 }
@@ -249,6 +269,8 @@ impl SherlockParamsBuilder {
         max_anomaly_fraction: f64,
         /// Thread budget for the parallel pipeline stages.
         exec: ExecPolicy,
+        /// Resource budget: deadline, size limits, cancellation.
+        budget: DiagnosisBudget,
     }
 
     /// Validate the configuration and produce the params.
@@ -373,6 +395,22 @@ mod tests {
                 other => panic!("{knob}: expected InvalidParam, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn budget_is_an_operational_knob() {
+        // Defaults to unlimited, settable via both builder styles, and —
+        // like `exec` — never serialized.
+        assert!(SherlockParams::default().budget().is_unlimited());
+        let budget = DiagnosisBudget::unlimited().with_deadline_ms(500).with_max_rows(10_000);
+        let p = SherlockParams::default().with_budget(budget.clone());
+        assert_eq!(p.budget(), &budget);
+        let p = SherlockParams::builder().budget(budget.clone()).build().unwrap();
+        assert_eq!(p.budget(), &budget);
+        let json = serde_json::to_string(&p).unwrap();
+        assert!(!json.contains("budget"));
+        let back: SherlockParams = serde_json::from_str(&json).unwrap();
+        assert!(back.budget().is_unlimited());
     }
 
     #[test]

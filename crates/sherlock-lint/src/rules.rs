@@ -23,16 +23,22 @@ pub enum RuleKind {
     /// execution layer (`crates/core/src/exec.rs`). Parallelism must route
     /// through `par_map_indexed` so ordering and determinism stay centralised.
     RawSpawn,
+    /// Bare `fs::write` in library code outside the crash-safe store
+    /// (`crates/core/src/store.rs`). A plain truncating write torn by a
+    /// crash destroys the artifact; repository/result persistence must go
+    /// through `ModelStore` (temp + fsync + atomic rename).
+    RawFsWrite,
 }
 
 impl RuleKind {
     /// All rules, in reporting order.
-    pub const ALL: [RuleKind; 5] = [
+    pub const ALL: [RuleKind; 6] = [
         RuleKind::PanicPath,
         RuleKind::NanUnsafe,
         RuleKind::UnseededRng,
         RuleKind::DenyHeader,
         RuleKind::RawSpawn,
+        RuleKind::RawFsWrite,
     ];
 
     /// Stable kebab-case name (used in baselines and allow-escapes).
@@ -43,6 +49,7 @@ impl RuleKind {
             RuleKind::UnseededRng => "unseeded-rng",
             RuleKind::DenyHeader => "deny-header",
             RuleKind::RawSpawn => "raw-spawn",
+            RuleKind::RawFsWrite => "raw-fs-write",
         }
     }
 
@@ -290,6 +297,22 @@ pub fn scan_source(path: &str, source: &str, class: FileClass, rules: &[RuleKind
                                 "bare `thread::{name}` outside the execution layer; \
                                  route work through dbsherlock_core::par_map_indexed"
                             ),
+                        );
+                    }
+                    "write"
+                        if class == FileClass::Lib
+                            && !in_test
+                            && matches!(prev_kind, Some(Tok::Op("::")))
+                            && i >= 2
+                            && ident(i - 2) == Some("fs") =>
+                    {
+                        emit(
+                            RuleKind::RawFsWrite,
+                            tok.line,
+                            "bare `fs::write` outside the store module; a crash mid-write \
+                             tears the artifact — persist through \
+                             dbsherlock_core::store::ModelStore"
+                                .to_string(),
                         );
                     }
                     rng if ENTROPY_RNGS.contains(&rng) => {
@@ -676,6 +699,27 @@ pub fn more_lib(v: &[u8]) -> u8 { v[1] }
         // The in-band escape acknowledges the sanctioned site.
         let allowed =
             "fn f() { std::thread::scope(|s| ()) } // sherlock-lint: allow(raw-spawn): exec layer";
+        assert!(rules_of(allowed, FileClass::Lib).is_empty());
+    }
+
+    #[test]
+    fn raw_fs_write_patterns() {
+        let qualified = "fn f() { std::fs::write(path, body); }";
+        assert_eq!(rules_of(qualified, FileClass::Lib), vec![(RuleKind::RawFsWrite, 1)]);
+        let bare = "fn f() { fs::write(path, body); }";
+        assert_eq!(rules_of(bare, FileClass::Lib), vec![(RuleKind::RawFsWrite, 1)]);
+        // Bin/bench/test code may write freely; so do other fs calls and
+        // writer *methods*.
+        assert!(rules_of(qualified, FileClass::Other).is_empty());
+        for src in [
+            "fn f() { fs::read(path); fs::rename(a, b); }",
+            "fn f() { file.write(buf); w.write_all(buf); }",
+            "#[cfg(test)]\nmod t { fn f() { std::fs::write(p, b); } }",
+        ] {
+            assert!(rules_of(src, FileClass::Lib).is_empty(), "{src}");
+        }
+        let allowed =
+            "fn f() { fs::write(p, b) } // sherlock-lint: allow(raw-fs-write): store internals";
         assert!(rules_of(allowed, FileClass::Lib).is_empty());
     }
 

@@ -116,6 +116,18 @@ fn raw_spawn_fires_only_on_path_spawns_in_lib_code() {
 }
 
 #[test]
+fn raw_fs_write_fires_only_on_fs_path_writes_in_lib_code() {
+    let (source, findings) = scan_fixture("raw_fs_write.rs", FileClass::Lib);
+    assert_matches_markers(&source, &findings, RuleKind::RawFsWrite);
+    // std::fs::write + fs::write; reads, renames, writer methods, the
+    // escape, and the #[cfg(test)] write stay silent.
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    // Bin/bench/test files may write freely.
+    let (_, other) = scan_fixture("raw_fs_write.rs", FileClass::Other);
+    assert!(other.is_empty(), "{other:#?}");
+}
+
+#[test]
 fn allow_escapes_suppress_only_the_named_rule() {
     let (source, findings) = scan_fixture("allow_escape.rs", FileClass::Lib);
     assert_matches_markers(&source, &findings, RuleKind::PanicPath);

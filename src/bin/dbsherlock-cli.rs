@@ -14,10 +14,9 @@
 //! dbsherlock-cli detect incident.csv
 //! ```
 
-use std::path::Path;
 use std::process::ExitCode;
 
-use dbsherlock::core::{ModelRepository, Sherlock, SherlockParams};
+use dbsherlock::core::{DiagnosisBudget, ModelRepository, ModelStore, Sherlock, SherlockParams};
 use dbsherlock::prelude::*;
 use dbsherlock::telemetry::{from_csv, from_csv_lossy, render_plot, to_csv, PlotOptions};
 
@@ -102,6 +101,15 @@ options:
            reported on stderr as `warning: ...`)
   --threads <N|serial|auto>
            thread budget for the diagnosis pipeline (default: auto)
+  --deadline-ms <N>
+           wall-clock budget for one diagnosis; a blown deadline fails with
+           exit code 3 instead of hanging (default: unlimited)
+
+model repository files are stored as checksummed, crash-safe records: every
+save keeps the previous generation as <path>.prev, and a torn or corrupt
+file is quarantined as <path>.corrupt-<n> and recovered from the backup.
+Pre-existing raw-JSON repositories still load and are upgraded on the next
+save.
 
 exit codes:
   0 success   1 usage error   2 unreadable/unparseable input   3 diagnosis failure";
@@ -136,7 +144,13 @@ fn strict_mode(args: &[&String]) -> bool {
     args.iter().any(|a| a.as_str() == "--strict")
 }
 
-/// Parse `A..B` into a region.
+/// Parse `A..B` into a region over a dataset of `n_rows` rows.
+///
+/// The start must land inside the dataset — a region that begins at or past
+/// the last row can only come from a typo or a mismatched file, so it is a
+/// usage error, not a silently-empty region. The end is clamped (asking for
+/// "through row 500" of a 300-row file is a reasonable way to say "to the
+/// end").
 fn parse_region(spec: &str, n_rows: usize) -> Result<Region, CliError> {
     let (a, b) =
         spec.split_once("..").ok_or_else(|| format!("bad region {spec:?}; expected A..B"))?;
@@ -144,6 +158,12 @@ fn parse_region(spec: &str, n_rows: usize) -> Result<Region, CliError> {
     let b: usize = b.trim().parse().map_err(|_| format!("bad region end {b:?}"))?;
     if a >= b {
         return Err(format!("empty region {spec:?}").into());
+    }
+    if a >= n_rows {
+        return Err(format!(
+            "region {spec:?} starts at row {a}, but the dataset has only {n_rows} rows"
+        )
+        .into());
     }
     Ok(Region::from_range(a..b.min(n_rows)))
 }
@@ -171,20 +191,31 @@ fn load_dataset(path: &str, strict: bool) -> Result<Dataset, CliError> {
     Ok(dataset)
 }
 
+/// Load the model repository through the crash-safe store: corrupt or torn
+/// files are quarantined and the last good generation (or a fresh, empty
+/// repository) takes over, with every degradation reported on stderr. Only
+/// a real I/O failure aborts.
 fn load_repository(path: &str) -> Result<ModelRepository, CliError> {
-    if !Path::new(path).exists() {
-        return Ok(ModelRepository::new());
+    let (repo, report) = ModelStore::new(path)
+        .load()
+        .map_err(|e| CliError::Parse(format!("cannot load model repository: {e}")))?;
+    for warning in &report.warnings {
+        eprintln!("warning: {warning}");
     }
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError::Parse(format!("cannot read {path}: {e}")))?;
-    serde_json::from_str(&text)
-        .map_err(|e| CliError::Parse(format!("cannot parse model repository {path}: {e}")))
+    Ok(repo)
 }
 
+/// Persist the repository through the crash-safe store: checksummed record,
+/// write-temp + fsync + atomic rename, previous generation kept as
+/// `<path>.prev`.
 fn save_repository(path: &str, repo: &ModelRepository) -> Result<(), CliError> {
-    let text =
-        serde_json::to_string_pretty(repo).map_err(|e| CliError::Diagnosis(e.to_string()))?;
-    std::fs::write(path, text).map_err(|e| CliError::Diagnosis(format!("cannot write {path}: {e}")))
+    let report = ModelStore::new(path)
+        .save(repo)
+        .map_err(|e| CliError::Diagnosis(format!("cannot save model repository: {e}")))?;
+    for warning in &report.warnings {
+        eprintln!("warning: {warning}");
+    }
+    Ok(())
 }
 
 fn params_from(args: &[&String]) -> Result<SherlockParams, CliError> {
@@ -200,6 +231,10 @@ fn params_from(args: &[&String]) -> Result<SherlockParams, CliError> {
             n => ExecPolicy::Threads(n.parse().map_err(|_| format!("bad --threads {threads:?}"))?),
         };
         builder = builder.exec(exec);
+    }
+    if let Some(ms) = option(args, "--deadline-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad --deadline-ms {ms:?}"))?;
+        builder = builder.budget(DiagnosisBudget::unlimited().with_deadline_ms(ms));
     }
     builder.build().map_err(|e| CliError::Usage(e.to_string()))
 }
@@ -258,7 +293,9 @@ fn explain(args: &[&String]) -> Result<(), CliError> {
     if let Some(models_path) = option(args, "--models") {
         *sherlock.repository_mut() = load_repository(models_path)?;
     }
-    let explanation = sherlock.explain(&dataset, &abnormal, normal.as_ref());
+    let explanation = sherlock
+        .try_explain(&dataset, &abnormal, normal.as_ref())
+        .map_err(|e| CliError::Diagnosis(e.to_string()))?;
     println!("predicates ({}):", explanation.predicates.len());
     for generated in &explanation.predicates {
         println!("  {:<48} SP {:.2}", generated.predicate.to_string(), generated.separation_power);

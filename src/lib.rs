@@ -81,9 +81,10 @@ pub use dbsherlock_telemetry as telemetry;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use dbsherlock_core::{
-        generate_predicates, Accuracy, Case, CausalModel, DomainKnowledge, ExecPolicy, Explanation,
-        GeneratedPredicate, ModelRepository, Predicate, PredicateOp, RankedCause, Rule, Sherlock,
-        SherlockError, SherlockParams, SherlockParamsBuilder,
+        generate_predicates, Accuracy, CancelFlag, Case, CausalModel, DiagnosisBudget,
+        DomainKnowledge, ExecPolicy, Explanation, GeneratedPredicate, ModelRepository, ModelStore,
+        Predicate, PredicateOp, RankedCause, Rule, Sherlock, SherlockError, SherlockParams,
+        SherlockParamsBuilder, StoreReport,
     };
     pub use dbsherlock_simulator::{
         AnomalyKind, Benchmark, Injection, LabeledDataset, NoiseModel, Scenario, ServerConfig,

@@ -53,7 +53,77 @@ fn observe(e: &Explanation) -> (String, CauseBits, CauseBits) {
     (e.predicates_display(), bits(&e.causes), bits(&e.all_causes))
 }
 
+/// Like [`dataset_from`], but the schema carries the in-band chaos trigger
+/// [`dbsherlock::core::chaos::PANIC_ATTR`], so scoring any causal model
+/// against the dataset panics inside the real rank stage — poisoning the
+/// whole case.
+fn poisoned_dataset_from(base: f64, jump: f64, shift_at: usize, seedish: u64) -> Dataset {
+    let schema = Schema::from_attrs([
+        AttributeMeta::numeric("shifty"),
+        AttributeMeta::numeric(dbsherlock::core::chaos::PANIC_ATTR),
+    ])
+    .unwrap();
+    let mut d = Dataset::new(schema);
+    let shift = shift_at..(shift_at + 20);
+    for i in 0..100usize {
+        let wiggle = (((i as u64).wrapping_mul(37).wrapping_add(seedish)) % 23) as f64 / 23.0;
+        let shifty = if shift.contains(&i) { base * jump } else { base } + wiggle;
+        d.push_row(i as f64, &[Value::Num(shifty), Value::Num(1.0)]).unwrap();
+    }
+    d
+}
+
 proptest! {
+    /// ISSUE 4 acceptance: a panicking case in `explain_batch` returns a
+    /// per-slot error while all other cases produce bit-identical results
+    /// to a clean serial run — for an arbitrary poison pattern.
+    #[test]
+    fn poisoned_cases_are_isolated_and_neighbours_stay_bit_identical(
+        base in 1.0_f64..100.0,
+        jump in 2.0_f64..10.0,
+        seedish in 0u64..1000,
+        poison_mask in 1u8..=255,
+    ) {
+        let poisoned_at = |i: usize| poison_mask & (1 << i) != 0;
+        let built: Vec<(Dataset, Region)> = (0..8)
+            .map(|i| {
+                let (clean, region) = dataset_from(base, jump, 15 + 8 * i, seedish + i as u64);
+                if poisoned_at(i) {
+                    (poisoned_dataset_from(base, jump, 15 + 8 * i, seedish + i as u64), region)
+                } else {
+                    (clean, region)
+                }
+            })
+            .collect();
+        let cases: Vec<Case<'_>> = built.iter().map(|(d, r)| Case::new(d, r)).collect();
+
+        // Both engines trained on the same clean dataset -> identical models.
+        let (train_d, train_r) = dataset_from(base, jump, 40, seedish);
+        let threaded = engine(ExecPolicy::Threads(4), &train_d, &train_r);
+        let serial = engine(ExecPolicy::Serial, &train_d, &train_r);
+
+        // The chaos panics are caught per slot; keep the default hook from
+        // spamming stderr while they fire.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let batch = threaded.explain_batch(&cases);
+        std::panic::set_hook(hook);
+
+        for (i, result) in batch.iter().enumerate() {
+            if poisoned_at(i) {
+                prop_assert!(
+                    matches!(result, Err(SherlockError::TaskPanicked { stage: "rank", .. })),
+                    "case {}: expected TaskPanicked, got {:?}", i, result
+                );
+            } else {
+                let (d, r) = &built[i];
+                let reference = serial.try_explain(d, r, None).unwrap();
+                let got = result.as_ref().unwrap();
+                prop_assert_eq!(observe(got), observe(&reference), "case {}", i);
+            }
+        }
+    }
+
     /// Serial and 4-thread explains are bit-identical on random data.
     #[test]
     fn explain_is_identical_across_policies(
