@@ -5,10 +5,11 @@
 //!
 //! 1. **Store torture** — a two-generation model store is corrupted with
 //!    every fault the [`StoreFault`] injector knows: truncation at *every*
-//!    byte offset, a bit flip at every byte, and a duplicated record. After
-//!    each fault, [`ModelStore::load`] must quarantine the damage and
-//!    recover the previous good generation (or the zero-length fresh-start
-//!    path), never crash, never return garbage.
+//!    byte offset, a bit flip at every byte, a duplicated record, and a
+//!    deleted primary (the state a crash inside `save`'s rotate/rename
+//!    window leaves behind). After each fault, [`ModelStore::load`] must
+//!    quarantine the damage and recover the previous good generation (or
+//!    the zero-length fresh-start path), never crash, never return garbage.
 //! 2. **Batch poison isolation** — a 110-case `explain_batch` where 10
 //!    cases carry the in-band chaos trigger [`PANIC_ATTR`], making the real
 //!    model scorer panic on the real thread pool. The 10 poisoned slots
@@ -24,7 +25,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use dbsherlock_bench::{write_json, ExperimentArgs, Table};
-use dbsherlock_core::chaos::PANIC_ATTR;
+use dbsherlock_core::chaos::{quiet_panics, PANIC_ATTR};
 use dbsherlock_core::{
     Case, CausalModel, DiagnosisBudget, ExecPolicy, ModelRepository, ModelStore, Predicate,
     Sherlock, SherlockError, SherlockParams, StoreFault,
@@ -141,10 +142,6 @@ fn fingerprint(e: &dbsherlock_core::Explanation) -> String {
 
 fn main() {
     let _args = ExperimentArgs::parse();
-    // The chaos panics are caught at the slot boundary, but the default
-    // hook would still spam stderr once per poisoned case.
-    std::panic::set_hook(Box::new(|_| {}));
-
     let dir: PathBuf =
         std::env::temp_dir().join(format!("sherlock-crash-torture-{}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);
@@ -160,10 +157,12 @@ fn main() {
     let bitflips: Vec<StoreFault> =
         (0..record_len).map(|byte| StoreFault::FlipBit { byte, bit: (byte % 8) as u8 }).collect();
     let duplicates = vec![StoreFault::DuplicateRecord];
+    let deletions = vec![StoreFault::DeletePrimary];
 
     let trunc = store_torture(&dir, &truncations);
     let flip = store_torture(&dir, &bitflips);
     let dup = store_torture(&dir, &duplicates);
+    let del = store_torture(&dir, &deletions);
 
     let mut table = Table::new(
         "Table 5c — crash recovery: store faults vs recovery ladder",
@@ -176,7 +175,12 @@ fn main() {
             "UNRECOVERED",
         ],
     );
-    for (name, o) in [("truncate@k", &trunc), ("bit-flip@k", &flip), ("duplicate record", &dup)] {
+    for (name, o) in [
+        ("truncate@k", &trunc),
+        ("bit-flip@k", &flip),
+        ("duplicate record", &dup),
+        ("delete primary", &del),
+    ] {
         table.row(vec![
             name.to_string(),
             o.trials.to_string(),
@@ -187,7 +191,8 @@ fn main() {
         ]);
     }
     table.print();
-    let unrecovered_total = trunc.unrecovered + flip.unrecovered + dup.unrecovered;
+    let unrecovered_total =
+        trunc.unrecovered + flip.unrecovered + dup.unrecovered + del.unrecovered;
 
     // ---- Part 2: 110-case batch with 10 poisoned cases. ----
     const BATCH: usize = 110;
@@ -206,7 +211,9 @@ fn main() {
     let mut sherlock = Sherlock::new(params);
     *sherlock.repository_mut() = repo.clone();
     let cases: Vec<Case<'_>> = datasets.iter().map(|d| Case::new(d, &abnormal)).collect();
-    let batch = sherlock.explain_batch(&cases);
+    // The chaos panics are caught at the slot boundary, but the default
+    // hook would still spam stderr once per poisoned case.
+    let batch = quiet_panics(|| sherlock.explain_batch(&cases));
 
     // Serial clean reference for bit-identical comparison.
     let mut serial =
@@ -236,10 +243,6 @@ fn main() {
             }
         }
     }
-
-    // Nothing panics past this point; restore the default hook so a failed
-    // assertion prints its message.
-    let _ = std::panic::take_hook();
 
     // ---- Part 3: deterministic budget degradation. ----
     let expired = SherlockParams::builder()
@@ -308,7 +311,12 @@ fn main() {
                              "fresh": flip.fresh_starts, "unrecovered": flip.unrecovered },
                 "duplicate": { "trials": dup.trials, "recovered": dup.recovered_backup,
                                "fresh": dup.fresh_starts, "unrecovered": dup.unrecovered },
-                "quarantined": trunc.quarantined + flip.quarantined + dup.quarantined,
+                "delete_primary": { "trials": del.trials, "recovered": del.recovered_backup,
+                                    "fresh": del.fresh_starts, "unrecovered": del.unrecovered },
+                "quarantined": trunc.quarantined
+                    + flip.quarantined
+                    + dup.quarantined
+                    + del.quarantined,
             },
             "batch": {
                 "cases": BATCH,
@@ -328,8 +336,11 @@ fn main() {
     println!(
         "\n{} store faults, {} recovered from .prev, {} unrecovered; \
          {isolated}/10 poisons isolated, {clean_matches}/100 clean cases bit-identical.",
-        trunc.trials + flip.trials + dup.trials,
-        trunc.recovered_backup + flip.recovered_backup + dup.recovered_backup,
+        trunc.trials + flip.trials + dup.trials + del.trials,
+        trunc.recovered_backup
+            + flip.recovered_backup
+            + dup.recovered_backup
+            + del.recovered_backup,
         unrecovered_total,
     );
     assert_eq!(unrecovered_total, 0, "store corruption went unrecovered");

@@ -57,7 +57,9 @@ impl CausalModel {
         params: &SherlockParams,
     ) -> f64 {
         // Deliberate-panic hook for the crash-torture harness; a no-op for
-        // every real cause and dataset (see [`crate::chaos`]).
+        // every real cause and dataset, and absent (no panic, no schema
+        // lookup) in builds without the `chaos` feature (see [`crate::chaos`]).
+        #[cfg(any(test, feature = "chaos"))]
         crate::chaos::scorer_tripwire(&self.cause, dataset);
         if self.predicates.is_empty() {
             return 0.0;
@@ -374,16 +376,15 @@ mod tests {
             merged_from: 1,
         });
         let params = SherlockParams::default(); // serial in-test resolve is fine
-        let hook = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
-        let result = repo.try_rank(
-            &d,
-            &abnormal,
-            &normal,
-            &params.with_exec(crate::exec::ExecPolicy::Serial),
-            &ArmedBudget::unlimited(),
-        );
-        std::panic::set_hook(hook);
+        let result = crate::chaos::quiet_panics(|| {
+            repo.try_rank(
+                &d,
+                &abnormal,
+                &normal,
+                &params.with_exec(crate::exec::ExecPolicy::Serial),
+                &ArmedBudget::unlimited(),
+            )
+        });
         match result {
             Err(SherlockError::TaskPanicked { stage: "rank", message }) => {
                 assert!(message.contains("chaos"), "{message}");

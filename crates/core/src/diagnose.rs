@@ -470,10 +470,7 @@ mod tests {
             [Case::new(&d, &abnormal), Case::new(&poisoned, &abnormal), Case::new(&d, &abnormal)];
         // The deliberate panic is caught, but the default hook would still
         // print a backtrace per poisoned case.
-        let hook = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
-        let results = sherlock.explain_batch(&cases);
-        std::panic::set_hook(hook);
+        let results = crate::chaos::quiet_panics(|| sherlock.explain_batch(&cases));
 
         assert!(matches!(
             &results[1],

@@ -234,15 +234,7 @@ mod tests {
         assert_eq!(out, vec![2, 4, 6]);
     }
 
-    /// Run `f` with panic-hook output silenced (the default hook prints
-    /// every caught panic to stderr, which drowns deliberate-panic tests).
-    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
-        let hook = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
-        let out = f();
-        std::panic::set_hook(hook);
-        out
-    }
+    use crate::chaos::quiet_panics;
 
     #[test]
     fn try_map_matches_infallible_map_on_clean_input() {

@@ -27,8 +27,24 @@
 //! primary is never the only copy. On load, a torn or corrupt primary is
 //! quarantined to `<path>.corrupt-<n>` (evidence, never silently deleted)
 //! and the store falls back to the last good generation in `.prev`, or to
-//! a fresh repository when nothing valid survives. Pre-existing raw-JSON
-//! repositories load with a warning and are upgraded on the next save.
+//! a fresh repository when nothing valid survives. A *missing* primary with
+//! a `.prev` present is also a crash signature — `save` has a window
+//! between rotating the old primary to `.prev` and renaming the temp file
+//! into place where the primary path is briefly empty — so load falls back
+//! to the backup there too, rather than silently starting fresh.
+//! Pre-existing raw-JSON repositories load with a warning and are upgraded
+//! on the next save.
+//!
+//! ## Concurrency contract
+//!
+//! The store is **single-writer**: at most one process saves to a given
+//! path at a time (the CLI and the diagnosis engine both follow this).
+//! Temp files are named uniquely per process and save (`<path>.tmp-<pid>-<n>`)
+//! so even an unsanctioned concurrent writer cannot tear another writer's
+//! in-flight record — the losing writer's generation may be overwritten,
+//! and generation numbers may repeat, but the primary always holds one
+//! complete, checksummed record. Stale temp files left by a crashed writer
+//! are inert and swept on the next save.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
@@ -171,6 +187,21 @@ impl ModelStore {
     pub fn load(&self) -> Result<(ModelRepository, StoreReport), SherlockError> {
         let mut report = StoreReport::default();
         if !self.path.exists() {
+            // save()'s crash window sits between rename(primary -> .prev)
+            // and rename(tmp -> primary): the primary is briefly absent
+            // while `.prev` holds the last good generation. A missing
+            // primary therefore only means "fresh repository" when there is
+            // no backup either.
+            if let Some((generation, repo)) = self.try_backup(&mut report)? {
+                report.warn(format!(
+                    "{}: store file missing but backup exists (crash during \
+                     save rotation?); recovered generation {generation} from backup",
+                    self.path.display()
+                ));
+                report.generation = generation;
+                report.recovered_from_backup = true;
+                return Ok((repo, report));
+            }
             return Ok((ModelRepository::new(), report));
         }
         let bytes = fs::read(&self.path).map_err(|e| self.io_err(e))?;
@@ -219,25 +250,34 @@ impl ModelStore {
     }
 
     /// Persist the repository as the next generation: write a fresh record
-    /// to a temp file, fsync it, rotate the current good record to `.prev`,
-    /// atomically rename the temp into place, and fsync the directory.
-    /// There is no instant at which the primary path holds a partial record.
+    /// to a uniquely named temp file, fsync it, rotate the current good
+    /// record to `.prev`, atomically rename the temp into place, and fsync
+    /// the directory. There is no instant at which the primary path holds a
+    /// partial record.
+    ///
+    /// Single-writer (see the module docs): concurrent saves from two
+    /// processes cannot tear each other's temp file, but may produce
+    /// duplicate generation numbers and lose one writer's snapshot.
     pub fn save(&self, repo: &ModelRepository) -> Result<StoreReport, SherlockError> {
         let mut report = StoreReport::default();
         let payload = serde_json::to_string(repo).map_err(|e| self.io_err(e))?.into_bytes();
         let generation = self.next_generation();
         let record = encode_record(generation, &payload);
 
-        let tmp = sibling(&self.path, ".tmp");
-        {
-            let mut file = OpenOptions::new()
-                .write(true)
-                .create(true)
-                .truncate(true)
-                .open(&tmp)
-                .map_err(|e| self.io_err(format!("cannot create {}: {e}", tmp.display())))?;
-            file.write_all(&record).map_err(|e| self.io_err(e))?;
-            file.sync_all().map_err(|e| self.io_err(e))?;
+        self.sweep_stale_tmps();
+        let tmp = self.tmp_path();
+        let staged =
+            (|| {
+                let mut file =
+                    OpenOptions::new().write(true).create(true).truncate(true).open(&tmp).map_err(
+                        |e| self.io_err(format!("cannot create {}: {e}", tmp.display())),
+                    )?;
+                file.write_all(&record).map_err(|e| self.io_err(e))?;
+                file.sync_all().map_err(|e| self.io_err(e))
+            })();
+        if let Err(e) = staged {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
         }
 
         // Rotate: a *good* primary becomes the backup; a corrupt one is
@@ -262,6 +302,32 @@ impl ModelStore {
         self.sync_dir()?;
         report.generation = generation;
         Ok(report)
+    }
+
+    /// A temp path no other live save can collide with: pid distinguishes
+    /// processes, the counter distinguishes saves within one.
+    fn tmp_path(&self) -> PathBuf {
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        sibling(&self.path, &format!(".tmp-{}-{seq}", std::process::id()))
+    }
+
+    /// Best-effort removal of `<path>.tmp-*` debris left by a crashed
+    /// writer. Under the single-writer contract no live save owns these.
+    fn sweep_stale_tmps(&self) {
+        let Some(file_name) = self.path.file_name().and_then(|n| n.to_str()) else {
+            return;
+        };
+        let prefix = format!("{file_name}.tmp-");
+        let dir = self.path.parent().filter(|p| !p.as_os_str().is_empty());
+        let Ok(entries) = fs::read_dir(dir.unwrap_or(Path::new("."))) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            if entry.file_name().to_str().is_some_and(|n| n.starts_with(&prefix)) {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
     }
 
     /// Decode `.prev`, quarantining it if it turns out corrupt too.
@@ -387,6 +453,10 @@ pub enum StoreFault {
     },
     /// Append a full copy of the file to itself (a duplicated record).
     DuplicateRecord,
+    /// Remove the primary file outright — the state `save` leaves behind
+    /// when it crashes between rotating the old primary to `.prev` and
+    /// renaming the temp file into place.
+    DeletePrimary,
 }
 
 impl StoreFault {
@@ -394,6 +464,7 @@ impl StoreFault {
     pub fn apply(&self, path: &Path) -> std::io::Result<()> {
         let mut bytes = fs::read(path)?;
         match *self {
+            StoreFault::DeletePrimary => return fs::remove_file(path),
             StoreFault::TruncateAt(k) => bytes.truncate(k),
             StoreFault::FlipBit { byte, bit } => {
                 if bytes.is_empty() {
@@ -525,6 +596,52 @@ mod tests {
         assert!(!report.recovered_from_backup);
         assert_eq!(report.quarantined.len(), 1);
         assert!(report.warnings.iter().any(|w| w.contains("length mismatch")), "{report:?}");
+    }
+
+    #[test]
+    fn missing_primary_with_backup_recovers_the_backup_generation() {
+        // Simulate save()'s crash window exactly: after the old primary is
+        // rotated to .prev but before the temp file is renamed into place,
+        // the primary path does not exist and .prev holds the last good
+        // generation. The rename below *is* that intermediate state.
+        let dir = tempdir("crashwindow");
+        let store = ModelStore::new(dir.join("models.bin"));
+        store.save(&repo_with(&["gen one"])).unwrap();
+        store.save(&repo_with(&["gen one", "gen two"])).unwrap();
+        fs::rename(store.path(), store.backup_path()).unwrap();
+
+        let (repo, report) = store.load().unwrap();
+        assert!(report.recovered_from_backup, "{report:?}");
+        assert_eq!(report.generation, 2);
+        assert_eq!(repo.models().len(), 2);
+        assert!(report.warnings.iter().any(|w| w.contains("missing")), "{report:?}");
+        assert!(report.quarantined.is_empty(), "nothing corrupt to quarantine");
+
+        // The next save continues the generation sequence instead of
+        // restarting, so the recovered backup is never rotated over by a
+        // fresh generation-1 record.
+        assert_eq!(store.save(&repo).unwrap().generation, 3);
+        let (again, report) = store.load().unwrap();
+        assert_eq!(again.models().len(), 2);
+        assert!(!report.recovered_from_backup);
+    }
+
+    #[test]
+    fn primary_deleted_between_saves_recovers_the_rotated_backup() {
+        // The REVIEW scenario: delete the primary between two saves and
+        // make sure the load does not silently hand back a fresh repository
+        // while a good .prev sits on disk.
+        let dir = tempdir("delprimary");
+        let store = ModelStore::new(dir.join("models.bin"));
+        store.save(&repo_with(&["gen one"])).unwrap();
+        store.save(&repo_with(&["gen one", "gen two"])).unwrap();
+        StoreFault::DeletePrimary.apply(store.path()).unwrap();
+
+        // .prev holds generation 1 (rotated by the second save).
+        let (repo, report) = store.load().unwrap();
+        assert!(report.recovered_from_backup, "{report:?}");
+        assert_eq!(report.generation, 1);
+        assert_eq!(repo.models().len(), 1);
     }
 
     #[test]

@@ -103,11 +103,9 @@ proptest! {
         let serial = engine(ExecPolicy::Serial, &train_d, &train_r);
 
         // The chaos panics are caught per slot; keep the default hook from
-        // spamming stderr while they fire.
-        let hook = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
-        let batch = threaded.explain_batch(&cases);
-        std::panic::set_hook(hook);
+        // spamming stderr while they fire. `quiet_panics` serialises the
+        // hook swap against other tests on parallel threads.
+        let batch = dbsherlock::core::chaos::quiet_panics(|| threaded.explain_batch(&cases));
 
         for (i, result) in batch.iter().enumerate() {
             if poisoned_at(i) {
