@@ -528,6 +528,45 @@ mod tests {
     }
 
     #[test]
+    fn byte_string_variants() {
+        // Raw byte strings, with and without hashes, must swallow their
+        // contents — including fake findings and fake delimiters.
+        assert_eq!(idents("br\"raw bytes unwrap()\" tail"), vec!["tail"]);
+        assert_eq!(idents("br#\"with \"quotes\" and {braces}\"# tail"), vec!["tail"]);
+        assert_eq!(idents("br##\"ends with \"# but not here\"## tail"), vec!["tail"]);
+        // Escapes inside plain byte strings must not end the literal early.
+        assert_eq!(idents(r#"b"esc \" quote" tail"#), vec!["tail"]);
+        assert_eq!(idents(r#"b"trailing slash \\" tail"#), vec!["tail"]);
+        // Escaped byte chars.
+        let chars = |src: &str| lex(src).tokens.iter().filter(|t| t.kind == Tok::Char).count();
+        assert_eq!(chars(r"let nl = b'\n'; let q = b'\''; let bs = b'\\';"), 3);
+        // A byte string never desyncs delimiter pairing for what follows.
+        let out = lex("f(b\"{ ( [\"); g()");
+        let opens =
+            out.tokens.iter().filter(|t| matches!(t.kind, Tok::Op("(" | "[" | "{"))).count();
+        let closes =
+            out.tokens.iter().filter(|t| matches!(t.kind, Tok::Op(")" | "]" | "}"))).count();
+        assert_eq!((opens, closes), (2, 2), "{:?}", out.tokens);
+    }
+
+    #[test]
+    fn lifetime_variants() {
+        let lifetimes =
+            |src: &str| lex(src).tokens.iter().filter(|t| t.kind == Tok::Lifetime).count();
+        // Generic positions, bounds, anonymous and static lifetimes.
+        assert_eq!(lifetimes("fn f<'a, 'b: 'a>(x: &'a str, y: &'b mut [u8]) {}"), 5);
+        assert_eq!(lifetimes("impl Foo<'_> for Bar<'static> {}"), 2);
+        // Loop labels on both ends: definition and break/continue.
+        assert_eq!(lifetimes("'outer: for x in v { break 'outer; continue 'outer; }"), 3);
+        // A lifetime right before a char literal must not merge with it.
+        let out = lex("f::<'a>('x')");
+        assert_eq!(out.tokens.iter().filter(|t| t.kind == Tok::Lifetime).count(), 1);
+        assert_eq!(out.tokens.iter().filter(|t| t.kind == Tok::Char).count(), 1);
+        // Lifetimes never eat the following identifier.
+        assert_eq!(idents("&'a str"), vec!["str"]);
+    }
+
+    #[test]
     fn unterminated_input_does_not_hang() {
         let _ = lex("\"never closed");
         let _ = lex("/* never closed");

@@ -11,7 +11,9 @@
 //! mutual-information filter. A single NaN-unsafe comparison, panicking
 //! index, or unseeded RNG silently corrupts diagnoses or breaks bench
 //! reproducibility. `clippy` covers the generic half of that surface; this
-//! crate covers the domain half with four rules (see [`rules::RuleKind`]):
+//! crate covers the domain half (see [`rules::RuleKind`]) in two layers.
+//!
+//! **Token rules** pattern-match the lexer's stream directly:
 //!
 //! * `panic-path` — `unwrap()` / `expect()` / `panic!` / `unreachable!` /
 //!   `[]`-indexing in non-`#[cfg(test)]` library code.
@@ -22,6 +24,23 @@
 //! * `deny-header` — every crate root must carry the
 //!   `#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]`
 //!   header so clippy enforces the panic policy at compile time.
+//! * `raw-spawn` — bare `thread::spawn`/`thread::scope` outside the
+//!   execution layer (parallelism routes through `par_map_indexed`).
+//! * `raw-fs-write` — bare `fs::write` outside the crash-safe store.
+//!
+//! **Semantic rules** run on the [`syntax`] layer — a delimiter tree with
+//! import resolution and a per-scope binding table — so they can reason
+//! about *what a name is* rather than what it looks like ([`semantic`]):
+//!
+//! * `nondeterministic-iteration` — iterating a `HashMap`/`HashSet` into
+//!   ordered output without a sort (threatens the bit-identical parallel
+//!   diagnosis guarantee).
+//! * `raw-panic-hook` — `panic::set_hook`/`take_hook` anywhere outside
+//!   `chaos::quiet_panics` (hook swaps are process-global and race).
+//! * `budget-blind-loop` — a loop in a budget-carrying pipeline stage that
+//!   does real work but never polls the `ArmedBudget`/`CancelFlag`.
+//! * `unsynced-store-write` — filesystem mutation (`fs::write`, `rename`,
+//!   `File::create`, writable `OpenOptions`) outside `store.rs`.
 //!
 //! The build is hermetic, so everything here is hand-rolled on `std`: a
 //! token-level Rust lexer ([`lexer`]) instead of `syn`, a tiny JSON emitter
@@ -36,6 +55,8 @@
 pub mod baseline;
 pub mod lexer;
 pub mod rules;
+pub mod semantic;
+pub mod syntax;
 pub mod workspace;
 
 pub use baseline::Baseline;

@@ -5,6 +5,7 @@
 //! cargo run -p sherlock-lint -- --update-baseline
 //! cargo run -p sherlock-lint -- --json
 //! cargo run -p sherlock-lint -- --rule nan-unsafe --no-baseline
+//! cargo run -p sherlock-lint -- --github       # CI annotations
 //! ```
 //!
 //! Exit codes: `0` clean, `1` new findings, `2` usage or I/O error.
@@ -29,6 +30,7 @@ OPTIONS:
     --no-baseline       report every finding, ignoring the baseline
     --rule <NAME>       run only this rule (repeatable); default: all rules
     --json              machine-readable output
+    --github            GitHub Actions `::error` annotations for new findings
     --list-rules        print the rule names and exit
     -h, --help          this help
 ";
@@ -40,6 +42,7 @@ struct Args {
     no_baseline: bool,
     rules: Vec<RuleKind>,
     json: bool,
+    github: bool,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -50,6 +53,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         no_baseline: false,
         rules: Vec::new(),
         json: false,
+        github: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -63,6 +67,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--update-baseline" => args.update_baseline = true,
             "--no-baseline" => args.no_baseline = true,
             "--json" => args.json = true,
+            "--github" => args.github = true,
             "--rule" => {
                 let name = iter.next().ok_or("--rule needs a value")?;
                 let rule = RuleKind::from_name(&name)
@@ -150,7 +155,11 @@ fn run(args: Args) -> Result<bool, String> {
         print!("{}", render_json(&diff, &findings));
     } else {
         for finding in &diff.new {
-            println!("{}", finding.render());
+            if args.github {
+                println!("{}", finding.render_github());
+            } else {
+                println!("{}", finding.render());
+            }
         }
         eprintln!(
             "sherlock-lint: {} finding(s): {} new, {} baselined, {} stale baseline entr{}",

@@ -1,10 +1,13 @@
-//! The rule engine: walks the token stream from [`crate::lexer`] with just
-//! enough structural context (attributes, `#[cfg(test)]` item spans, paren
-//! depth) to enforce the five domain invariants.
+//! The rule engine: token-level rules walk the stream from
+//! [`crate::lexer`] with just enough structural context (attributes,
+//! `#[cfg(test)]` item spans, paren depth); the semantic rules run on the
+//! [`crate::syntax`] layer via [`crate::semantic`], sharing this module's
+//! emit path so allow-escapes and baselining behave identically.
 
 use std::fmt;
 
 use crate::lexer::{lex, Tok, Token};
+use crate::syntax::FileSyntax;
 
 /// The rules sherlock-lint knows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -28,17 +31,40 @@ pub enum RuleKind {
     /// crash destroys the artifact; repository/result persistence must go
     /// through `ModelStore` (temp + fsync + atomic rename).
     RawFsWrite,
+    /// Semantic: iterating a binding the syntax layer resolves to a
+    /// `HashMap`/`HashSet` into ordered output without an intervening
+    /// sort. Arbitrary iteration order is the classic silent threat to
+    /// the engine's bit-identical-at-any-thread-count guarantee.
+    NondetIteration,
+    /// Semantic: `panic::set_hook`/`take_hook` anywhere outside
+    /// `chaos::quiet_panics`. Hook swaps mutate process-global state and
+    /// race the parallel test harness — this rule applies to test code
+    /// too, unlike the other panic rules.
+    RawPanicHook,
+    /// Semantic: a loop in a function holding an `ArmedBudget` /
+    /// `DiagnosisBudget` / `CancelFlag` that does non-trivial work but
+    /// never mentions the handle — deadlines and cancellation cannot
+    /// interrupt it.
+    BudgetBlindLoop,
+    /// Semantic: filesystem mutation (`fs::write`/`rename`/…,
+    /// `File::create`, writable `OpenOptions`) in library code outside
+    /// `store.rs` — the scope-aware upgrade of `raw-fs-write`.
+    UnsyncedStoreWrite,
 }
 
 impl RuleKind {
-    /// All rules, in reporting order.
-    pub const ALL: [RuleKind; 6] = [
+    /// All rules, in reporting order (token rules, then semantic rules).
+    pub const ALL: [RuleKind; 10] = [
         RuleKind::PanicPath,
         RuleKind::NanUnsafe,
         RuleKind::UnseededRng,
         RuleKind::DenyHeader,
         RuleKind::RawSpawn,
         RuleKind::RawFsWrite,
+        RuleKind::NondetIteration,
+        RuleKind::RawPanicHook,
+        RuleKind::BudgetBlindLoop,
+        RuleKind::UnsyncedStoreWrite,
     ];
 
     /// Stable kebab-case name (used in baselines and allow-escapes).
@@ -50,6 +76,10 @@ impl RuleKind {
             RuleKind::DenyHeader => "deny-header",
             RuleKind::RawSpawn => "raw-spawn",
             RuleKind::RawFsWrite => "raw-fs-write",
+            RuleKind::NondetIteration => "nondeterministic-iteration",
+            RuleKind::RawPanicHook => "raw-panic-hook",
+            RuleKind::BudgetBlindLoop => "budget-blind-loop",
+            RuleKind::UnsyncedStoreWrite => "unsynced-store-write",
         }
     }
 
@@ -99,6 +129,31 @@ impl Finding {
             self.path, self.line, self.rule, self.message, self.snippet
         )
     }
+
+    /// GitHub Actions workflow-command annotation:
+    /// `::error file=…,line=…,title=sherlock-lint[rule]::message`.
+    /// GitHub surfaces these inline on the PR diff when printed to stdout
+    /// inside a workflow step.
+    pub fn render_github(&self) -> String {
+        format!(
+            "::error file={},line={},title=sherlock-lint[{}]::{} — `{}`",
+            github_escape_property(&self.path),
+            self.line,
+            self.rule,
+            github_escape_data(&self.message),
+            github_escape_data(&self.snippet),
+        )
+    }
+}
+
+/// Escape the free-text part of a workflow command (`%`, CR, LF).
+fn github_escape_data(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+/// Escape a workflow-command property value (data escapes plus `:`, `,`).
+fn github_escape_property(s: &str) -> String {
+    github_escape_data(s).replace(':', "%3A").replace(',', "%2C")
 }
 
 /// Keywords that may directly precede a `[` without it being an index
@@ -342,6 +397,19 @@ pub fn scan_source(path: &str, source: &str, class: FileClass, rules: &[RuleKind
             }
             _ => {}
         }
+    }
+
+    // The semantic layer: built only when a semantic rule is requested —
+    // the syntax analysis costs another pass over the tokens.
+    const SEMANTIC: [RuleKind; 4] = [
+        RuleKind::NondetIteration,
+        RuleKind::RawPanicHook,
+        RuleKind::BudgetBlindLoop,
+        RuleKind::UnsyncedStoreWrite,
+    ];
+    if rules.iter().any(|r| SEMANTIC.contains(r)) {
+        let syntax = FileSyntax::analyze(toks);
+        crate::semantic::scan_semantic(path, toks, &syntax, class, &test_mask, rules, &mut emit);
     }
     findings
 }
@@ -704,23 +772,31 @@ pub fn more_lib(v: &[u8]) -> u8 { v[1] }
 
     #[test]
     fn raw_fs_write_patterns() {
+        // Scope to the token rule: the semantic `unsynced-store-write`
+        // upgrade fires on these sites too and has its own tests.
+        let only = |src: &str, class| {
+            scan_source("test.rs", src, class, &[RuleKind::RawFsWrite])
+                .into_iter()
+                .map(|f| (f.rule, f.line))
+                .collect::<Vec<_>>()
+        };
         let qualified = "fn f() { std::fs::write(path, body); }";
-        assert_eq!(rules_of(qualified, FileClass::Lib), vec![(RuleKind::RawFsWrite, 1)]);
+        assert_eq!(only(qualified, FileClass::Lib), vec![(RuleKind::RawFsWrite, 1)]);
         let bare = "fn f() { fs::write(path, body); }";
-        assert_eq!(rules_of(bare, FileClass::Lib), vec![(RuleKind::RawFsWrite, 1)]);
+        assert_eq!(only(bare, FileClass::Lib), vec![(RuleKind::RawFsWrite, 1)]);
         // Bin/bench/test code may write freely; so do other fs calls and
         // writer *methods*.
-        assert!(rules_of(qualified, FileClass::Other).is_empty());
+        assert!(only(qualified, FileClass::Other).is_empty());
         for src in [
             "fn f() { fs::read(path); fs::rename(a, b); }",
             "fn f() { file.write(buf); w.write_all(buf); }",
             "#[cfg(test)]\nmod t { fn f() { std::fs::write(p, b); } }",
         ] {
-            assert!(rules_of(src, FileClass::Lib).is_empty(), "{src}");
+            assert!(only(src, FileClass::Lib).is_empty(), "{src}");
         }
         let allowed =
             "fn f() { fs::write(p, b) } // sherlock-lint: allow(raw-fs-write): store internals";
-        assert!(rules_of(allowed, FileClass::Lib).is_empty());
+        assert!(only(allowed, FileClass::Lib).is_empty());
     }
 
     #[test]

@@ -65,7 +65,9 @@ pub fn needs_deny_header(rel: &str) -> bool {
 }
 
 /// Walk the workspace and run the configured rules over every `.rs` file.
-/// Findings come back sorted by path, line, rule.
+/// Findings come back sorted by `(path, line, rule name)` — a documented,
+/// enum-order-independent total order, so output is byte-identical across
+/// runs and across refactors that reorder `RuleKind`.
 pub fn scan_workspace(config: &ScanConfig) -> io::Result<Vec<Finding>> {
     let mut files = Vec::new();
     collect_rs_files(&config.root, &config.root, &mut files)?;
@@ -80,8 +82,9 @@ pub fn scan_workspace(config: &ScanConfig) -> io::Result<Vec<Finding>> {
             findings.extend(check_deny_header(rel, &source));
         }
     }
-    findings
-        .sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)).then(a.rule.cmp(&b.rule)));
+    findings.sort_by(|a, b| {
+        a.path.cmp(&b.path).then(a.line.cmp(&b.line)).then(a.rule.name().cmp(b.rule.name()))
+    });
     Ok(findings)
 }
 

@@ -1,0 +1,48 @@
+//! Fixture: loops doing real work in a budget-carrying pipeline stage
+//! must poll the budget (or cancel flag) so deadlines can interrupt them.
+
+pub fn stage_without_polling(parts: &[Part], budget: &ArmedBudget) -> Vec<Out> {
+    let mut out = Vec::new();
+    for part in parts { // REAL
+        out.push(expensive_transform(part));
+    }
+    out
+}
+
+pub fn stage_with_polling(parts: &[Part], budget: &ArmedBudget) -> Result<Vec<Out>, Stop> {
+    let mut out = Vec::new();
+    for part in parts {
+        budget.check("stage")?;
+        out.push(expensive_transform(part));
+    }
+    Ok(out)
+}
+
+pub fn local_cancel_flag_counts(parts: &[Part]) {
+    let cancel = CancelFlag::new();
+    while still_pending() { // REAL
+        expensive_step();
+    }
+}
+
+pub fn header_poll_counts(parts: &[Part]) {
+    let cancel = CancelFlag::new();
+    while !cancel.is_set() {
+        expensive_step();
+    }
+}
+
+pub fn collector_loops_are_trivial(slots: Vec<Out>, budget: &ArmedBudget) -> Vec<Out> {
+    let mut out = Vec::new();
+    for slot in slots {
+        out.push(slot);
+    }
+    out
+}
+
+pub fn sanctioned_site(parts: &[Part], budget: &ArmedBudget) {
+    // sherlock-lint: allow(budget-blind-loop): bounded to 3 parts by the caller
+    for part in parts {
+        expensive_transform(part);
+    }
+}

@@ -1,0 +1,36 @@
+//! Fixture: iterating a `HashMap`/`HashSet` into order-sensitive output
+//! must sort first, collect into an ordered/order-free container, or
+//! reduce with an order-insensitive fold.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+pub fn leaks_map_order(m: &HashMap<String, u64>) -> Vec<String> {
+    m.keys().cloned().collect() // REAL
+}
+
+pub fn leaks_set_order(s: &HashSet<u32>, out: &mut Vec<u32>) {
+    for x in s { // REAL
+        out.push(*x);
+    }
+}
+
+pub fn sorted_copy_is_fine(m: &HashMap<String, u64>) -> Vec<String> {
+    let mut keys: Vec<String> = m.keys().cloned().collect();
+    keys.sort();
+    keys
+}
+
+pub fn order_free_uses_are_fine(m: &HashMap<String, u64>, acc: &mut HashSet<String>) {
+    let _total: u64 = m.values().copied().sum();
+    let _ordered: BTreeSet<String> = m.keys().cloned().collect();
+    acc.extend(m.keys().cloned());
+}
+
+pub fn sanctioned_site(m: &HashMap<String, u64>) -> u64 {
+    let mut acc = 0;
+    // sherlock-lint: allow(nondeterministic-iteration): commutative sum
+    for (_k, v) in m {
+        acc += v;
+    }
+    acc
+}

@@ -1,0 +1,27 @@
+//! Fixture: swapping the process-global panic hook anywhere but
+//! `chaos::quiet_panics` races parallel tests and leaks the swap on
+//! early return.
+
+pub fn silences_by_hand() {
+    let prior = std::panic::take_hook(); // REAL
+    std::panic::set_hook(Box::new(|_| {})); // REAL
+    run_quietly();
+    std::panic::set_hook(prior); // REAL
+}
+
+pub fn quiet_panics(f: impl FnOnce()) {
+    // The sanctioned wrapper itself must hold the only raw hook calls.
+    let prior = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    f();
+    std::panic::set_hook(prior);
+}
+
+pub fn unrelated_method_named_set_hook(reg: &mut Registry) {
+    reg.set_hook(Hook::default());
+}
+
+pub fn sanctioned_site() {
+    // sherlock-lint: allow(raw-panic-hook): fixture-local justification
+    std::panic::set_hook(Box::new(|_| {}));
+}

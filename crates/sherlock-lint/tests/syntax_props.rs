@@ -1,0 +1,92 @@
+//! Property-based tests for the syntax layer: whatever garbage the lexer
+//! hands over — unbalanced delimiters, stray closers, comments, lifetimes,
+//! raw and byte strings — the delimiter tree must stay a faithful overlay
+//! on the token stream.
+
+use proptest::prelude::*;
+use sherlock_lint::lexer::lex;
+use sherlock_lint::syntax::FileSyntax;
+
+/// Render one fragment of pseudo-Rust from a `(selector, identifier)`
+/// pair. The table deliberately over-represents delimiters (including
+/// lone, unmatched ones) to stress EOF recovery and stray-closer
+/// handling, and mixes in every literal family the lexer knows.
+fn fragment(selector: u8, ident: &str) -> String {
+    let ident = if ident.is_empty() { "x" } else { ident };
+    match selector % 30 {
+        0 => "{ ".to_string(),
+        1 => "} ".to_string(),
+        2 => "( ".to_string(),
+        3 => ") ".to_string(),
+        4 => "[ ".to_string(),
+        5 => "] ".to_string(),
+        6 => format!("{ident} "),
+        7 => "fn ".to_string(),
+        8 => "use ".to_string(),
+        9 => "let ".to_string(),
+        10 => ":: ".to_string(),
+        11 => ". ".to_string(),
+        12 => "; ".to_string(),
+        13 => "-> ".to_string(),
+        14 => "< ".to_string(),
+        15 => "> ".to_string(),
+        16 => ">> ".to_string(),
+        17 => "\"string literal\" ".to_string(),
+        18 => "'a ".to_string(),
+        19 => "b\"bytes\" ".to_string(),
+        20 => "'x' ".to_string(),
+        21 => "// line comment\n".to_string(),
+        22 => "/* block */ ".to_string(),
+        23 => format!("#[{ident}] "),
+        24 => "123 ".to_string(),
+        25 => "1.5 ".to_string(),
+        26 => "r#\"raw\"# ".to_string(),
+        27 => ", ".to_string(),
+        28 => "= ".to_string(),
+        _ => "& ".to_string(),
+    }
+}
+
+fn fragments_strategy() -> impl Strategy<Value = Vec<(u8, String)>> {
+    proptest::collection::vec((0u8..30, "[a-zA-Z0-9_]{0,6}"), 0..60)
+}
+
+proptest! {
+    /// `FileSyntax::reconstruct` must emit exactly `0..n` in order for ANY
+    /// token stream — balanced, unbalanced, or pathological. This is the
+    /// invariant that makes the tree safe to navigate during rule scans:
+    /// no token is ever orphaned or double-assigned by the group overlay.
+    #[test]
+    fn brace_tree_reconstruction_round_trips(frags in fragments_strategy()) {
+        let mut source = String::new();
+        for (selector, ident) in &frags {
+            source.push_str(&fragment(*selector, ident));
+        }
+        let lexed = lex(&source);
+        let syn = FileSyntax::analyze(&lexed.tokens);
+        let expected: Vec<usize> = (0..lexed.tokens.len()).collect();
+        prop_assert_eq!(syn.reconstruct(), expected, "source: {:?}", source);
+    }
+
+    /// Structural sanity of the `enclosing` table on the same inputs:
+    /// every token's innermost group strictly contains it, and group
+    /// openers/closers belong to the *parent* scope, never their own.
+    #[test]
+    fn enclosing_table_is_consistent(frags in fragments_strategy()) {
+        let mut source = String::new();
+        for (selector, ident) in &frags {
+            source.push_str(&fragment(*selector, ident));
+        }
+        let lexed = lex(&source);
+        let syn = FileSyntax::analyze(&lexed.tokens);
+        for i in 0..lexed.tokens.len() {
+            if let Some(g) = syn.group_of(i) {
+                prop_assert!(
+                    g.contains(i),
+                    "token {} claims group [{}, {}] that does not contain it (source {:?})",
+                    i, g.open, g.close, source
+                );
+            }
+        }
+    }
+}
