@@ -130,7 +130,11 @@ fn main() {
     write_json(
         "BENCH_throughput",
         &serde_json::json!({
+            // Host context up front: rates from different machines are only
+            // comparable with the core count and measured budgets attached.
+            "cpu_count": n,
             "available_parallelism": n,
+            "thread_counts_measured": thread_counts(),
             "corpus": "tpcc",
             "deterministic_across_budgets": true,
             "rows": rows,

@@ -47,6 +47,7 @@
 //! ```
 
 pub mod actions;
+pub mod argv;
 pub mod budget;
 pub mod causal;
 pub mod chaos;
@@ -68,6 +69,7 @@ pub mod separation;
 pub mod store;
 
 pub use actions::{ActionLog, AutoAction, AutoRemediationPolicy, Decision, Remediation};
+pub use argv::ArgScan;
 pub use budget::{ArmedBudget, CancelFlag, DiagnosisBudget};
 pub use causal::{Accuracy, CausalModel, ModelRepository, RankedCause};
 pub use detect::{detect_anomaly, potential_power, try_detect_anomaly, Detection};

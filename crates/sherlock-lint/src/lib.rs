@@ -41,6 +41,9 @@
 //!   does real work but never polls the `ArmedBudget`/`CancelFlag`.
 //! * `unsynced-store-write` — filesystem mutation (`fs::write`, `rename`,
 //!   `File::create`, writable `OpenOptions`) outside `store.rs`.
+//! * `unbounded-channel` — a `Vec`/`VecDeque` growing inside a loop in
+//!   daemon (`crates/sherlockd`) library code with no capacity check,
+//!   shed, or drain in reach (client-fed buffers must stay bounded).
 //!
 //! The build is hermetic, so everything here is hand-rolled on `std`: a
 //! token-level Rust lexer ([`lexer`]) instead of `syn`, a tiny JSON emitter

@@ -50,11 +50,17 @@ pub enum RuleKind {
     /// `File::create`, writable `OpenOptions`) in library code outside
     /// `store.rs` — the scope-aware upgrade of `raw-fs-write`.
     UnsyncedStoreWrite,
+    /// Semantic: `Vec`/`VecDeque` growth (`push`/`push_back`/`extend`)
+    /// inside a loop in `sherlockd` library code with no capacity check on
+    /// the same container. A daemon buffer that grows per iteration of a
+    /// connection loop without a bound is how a flooding client pins the
+    /// process — every accumulator must check, shed, or drain.
+    UnboundedChannel,
 }
 
 impl RuleKind {
     /// All rules, in reporting order (token rules, then semantic rules).
-    pub const ALL: [RuleKind; 10] = [
+    pub const ALL: [RuleKind; 11] = [
         RuleKind::PanicPath,
         RuleKind::NanUnsafe,
         RuleKind::UnseededRng,
@@ -65,6 +71,7 @@ impl RuleKind {
         RuleKind::RawPanicHook,
         RuleKind::BudgetBlindLoop,
         RuleKind::UnsyncedStoreWrite,
+        RuleKind::UnboundedChannel,
     ];
 
     /// Stable kebab-case name (used in baselines and allow-escapes).
@@ -80,6 +87,7 @@ impl RuleKind {
             RuleKind::RawPanicHook => "raw-panic-hook",
             RuleKind::BudgetBlindLoop => "budget-blind-loop",
             RuleKind::UnsyncedStoreWrite => "unsynced-store-write",
+            RuleKind::UnboundedChannel => "unbounded-channel",
         }
     }
 
@@ -401,11 +409,12 @@ pub fn scan_source(path: &str, source: &str, class: FileClass, rules: &[RuleKind
 
     // The semantic layer: built only when a semantic rule is requested —
     // the syntax analysis costs another pass over the tokens.
-    const SEMANTIC: [RuleKind; 4] = [
+    const SEMANTIC: [RuleKind; 5] = [
         RuleKind::NondetIteration,
         RuleKind::RawPanicHook,
         RuleKind::BudgetBlindLoop,
         RuleKind::UnsyncedStoreWrite,
+        RuleKind::UnboundedChannel,
     ];
     if rules.iter().any(|r| SEMANTIC.contains(r)) {
         let syntax = FileSyntax::analyze(toks);

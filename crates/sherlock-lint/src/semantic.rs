@@ -94,6 +94,29 @@ const NON_CALL_IDENTS: &[&str] =
 const FS_MUTATORS: &[&str] =
     &["write", "rename", "remove_file", "remove_dir_all", "copy", "set_permissions"];
 
+/// Methods that grow a container (`unbounded-channel`).
+const GROWERS: &[&str] = &["push", "push_back", "push_front", "extend", "append"];
+
+/// Container types whose unbounded growth is the daemon hazard.
+const GROWABLE_TYPES: &[&str] = &["Vec", "VecDeque"];
+
+/// Methods that bound, shed, or drain a container: seeing one of these on
+/// the growth receiver means the author is managing capacity.
+const BOUNDERS: &[&str] = &[
+    "len",
+    "capacity",
+    "is_empty",
+    "truncate",
+    "clear",
+    "drain",
+    "pop",
+    "pop_front",
+    "pop_back",
+    "retain",
+    "remove",
+    "swap_remove",
+];
+
 /// Run every requested semantic rule over one file, reporting through
 /// `emit(rule, line, message)` (the same closure the token rules use, so
 /// allow-escapes and baselining apply uniformly).
@@ -121,6 +144,15 @@ pub(crate) fn scan_semantic(
         && !path.ends_with("store.rs")
     {
         unsynced_store_write(&ctx, emit);
+    }
+    // Scoped to the daemon crate: batch tools build unbounded vectors all
+    // the time (and are bounded by their finite inputs); only code sitting
+    // behind a socket accumulates attacker-paced input.
+    if rules.contains(&RuleKind::UnboundedChannel)
+        && class == FileClass::Lib
+        && path.contains("crates/sherlockd/")
+    {
+        unbounded_channel(&ctx, emit);
     }
 }
 
@@ -465,6 +497,68 @@ fn loop_body(ctx: &Ctx<'_>, i: usize, kw: &str) -> Option<(usize, usize)> {
     None
 }
 
+// ----- unbounded-channel --------------------------------------------------
+
+fn unbounded_channel(ctx: &Ctx<'_>, emit: &mut dyn FnMut(RuleKind, u32, String)) {
+    // Loop-body spans, computed once: a growth site is "in a loop" when any
+    // span contains it.
+    let mut loops: Vec<(usize, usize)> = Vec::new();
+    for i in 0..ctx.toks.len() {
+        if let Some(kw @ ("for" | "while" | "loop")) = ctx.ident(i) {
+            if let Some(span) = loop_body(ctx, i, kw) {
+                loops.push(span);
+            }
+        }
+    }
+    for i in 0..ctx.toks.len() {
+        if ctx.in_test(i) || !ctx.is_method_call(i, GROWERS) || i < 2 {
+            continue;
+        }
+        if !loops.iter().any(|&(open, close)| i > open && i < close) {
+            continue;
+        }
+        let Some(recv) = ctx.ident(i - 2) else { continue };
+        let Some(ty) = ctx.syn.receiver_type(ctx.toks, i - 2) else { continue };
+        if !GROWABLE_TYPES.contains(&ty) {
+            continue;
+        }
+        // Where must the capacity management live? A field (`self.queue`)
+        // may legitimately drain in a sibling method of the same type, so
+        // fields are checked file-wide; a local binding must be bounded
+        // inside its own function.
+        let field = i >= 4 && ctx.op(i - 3, ".");
+        let (start, end) = if field {
+            (0, ctx.toks.len())
+        } else {
+            match ctx.syn.enclosing_fn(i).and_then(|f| f.body) {
+                Some((open, close)) => (open, close.min(ctx.toks.len())),
+                None => (0, ctx.toks.len()),
+            }
+        };
+        let bounded = (start..end).any(|k| {
+            k != i - 2
+                && ctx.ident(k) == Some(recv)
+                && ctx.op(k + 1, ".")
+                && ctx.toks.get(k + 2).map(|t| &t.kind).is_some_and(
+                    |kind| matches!(kind, Tok::Ident(m) if BOUNDERS.contains(&m.as_str())),
+                )
+        });
+        if !bounded {
+            let grower = ctx.ident(i).unwrap_or_default();
+            emit(
+                RuleKind::UnboundedChannel,
+                // sherlock-lint: allow(panic-path): i is a scanned token index
+                ctx.toks[i].line,
+                format!(
+                    "`{recv}.{grower}` grows a `{ty}` every loop iteration with no \
+                     capacity check on `{recv}`; daemon buffers fed by clients must \
+                     bound, shed, or drain (check len()/pop/truncate) before growing"
+                ),
+            );
+        }
+    }
+}
+
 // ----- unsynced-store-write ---------------------------------------------
 
 fn unsynced_store_write(ctx: &Ctx<'_>, emit: &mut dyn FnMut(RuleKind, u32, String)) {
@@ -709,6 +803,108 @@ mod tests {
         // The poll is in the condition — outside the body braces — so the
         // body scan alone must not flag it… the condition mention counts.
         assert!(hits(polls, RuleKind::BudgetBlindLoop, FileClass::Lib).is_empty());
+    }
+
+    // ----- unbounded-channel ----------------------------------------------
+
+    const DAEMON_PATH: &str = "crates/sherlockd/src/conn.rs";
+
+    fn daemon_hits(src: &str, class: FileClass) -> Vec<u32> {
+        scan_source(DAEMON_PATH, src, class, &[RuleKind::UnboundedChannel])
+            .into_iter()
+            .map(|f| f.line)
+            .collect()
+    }
+
+    #[test]
+    fn unbounded_channel_flags_growth_in_connection_loops() {
+        let src = "fn serve(lines: Lines) {\n\
+                   let mut backlog: Vec<String> = Vec::new();\n\
+                   for line in lines {\n\
+                   backlog.push(line);\n\
+                   }\n}";
+        assert_eq!(daemon_hits(src, FileClass::Lib), vec![4]);
+        let deque = "fn pump(events: Events) {\n\
+                     let mut queue = std::collections::VecDeque::new();\n\
+                     while has_more() {\n\
+                     queue.push_back(next_event());\n\
+                     }\n}";
+        assert_eq!(daemon_hits(deque, FileClass::Lib), vec![4]);
+    }
+
+    #[test]
+    fn unbounded_channel_capacity_checks_are_clean() {
+        // Shed-oldest before growing: the daemon's enqueue pattern.
+        let shed = "fn pump(events: Events) {\n\
+                    let mut queue = std::collections::VecDeque::new();\n\
+                    loop {\n\
+                    if queue.len() >= MAX_PENDING { queue.pop_front(); }\n\
+                    queue.push_back(next_event());\n\
+                    }\n}";
+        assert!(daemon_hits(shed, FileClass::Lib).is_empty());
+        // Pruning with retain counts too (the accept loop's pattern).
+        let retain = "fn accept(listener: L) {\n\
+                      let mut handles = Vec::new();\n\
+                      loop {\n\
+                      handles.push(spawn_conn());\n\
+                      handles.retain(|h| !h.is_finished());\n\
+                      }\n}";
+        assert!(daemon_hits(retain, FileClass::Lib).is_empty());
+    }
+
+    #[test]
+    fn unbounded_channel_fields_may_drain_in_sibling_methods() {
+        let src = "struct Reader { pending: std::collections::VecDeque<Event> }\n\
+                   impl Reader {\n\
+                   fn ingest(&mut self, chunk: &[u8]) {\n\
+                   while let Some(e) = split(chunk) {\n\
+                   self.pending.push_back(e);\n\
+                   }\n}\n\
+                   fn next(&mut self) -> Option<Event> { self.pending.pop_front() }\n\
+                   }";
+        assert!(daemon_hits(src, FileClass::Lib).is_empty());
+        // …but a field nobody ever drains is still a leak.
+        let leak = "struct Reader { pending: std::collections::VecDeque<Event> }\n\
+                    impl Reader {\n\
+                    fn ingest(&mut self, chunk: &[u8]) {\n\
+                    while let Some(e) = split(chunk) {\n\
+                    self.pending.push_back(e);\n\
+                    }\n}\n\
+                    }";
+        assert_eq!(daemon_hits(leak, FileClass::Lib), vec![5]);
+    }
+
+    #[test]
+    fn unbounded_channel_scoping_and_exemptions() {
+        let src = "fn serve(lines: Lines) {\n\
+                   let mut backlog: Vec<String> = Vec::new();\n\
+                   for line in lines {\n\
+                   backlog.push(line);\n\
+                   }\n}";
+        // Only sherlockd library code is in scope: batch tools build
+        // unbounded vectors from finite inputs all the time.
+        assert!(scan_source(
+            "crates/core/src/predicate.rs",
+            src,
+            FileClass::Lib,
+            &[RuleKind::UnboundedChannel]
+        )
+        .is_empty());
+        assert!(daemon_hits(src, FileClass::Other).is_empty());
+        // Growth outside any loop is one bounded allocation, not a channel.
+        let straightline = "fn f() { let mut v = Vec::new(); v.push(1); v.push(2); }";
+        assert!(daemon_hits(straightline, FileClass::Lib).is_empty());
+        // Unknown receiver types (String, custom ring) are not ours.
+        let string = "fn f(cs: Chars) { let mut s = String::new(); for c in cs { s.push(c); } }";
+        assert!(daemon_hits(string, FileClass::Lib).is_empty());
+        // The escape hatch documents a genuinely bounded accumulator.
+        let allowed = "fn f(rows: Rows) {\n\
+                       let mut seqs = Vec::with_capacity(rows.len());\n\
+                       for row in rows {\n\
+                       // sherlock-lint: allow(unbounded-channel): one per buffered row\n\
+                       seqs.push(row.seq);\n\
+                       }\n}";
+        assert!(daemon_hits(allowed, FileClass::Lib).is_empty());
     }
 
     // ----- unsynced-store-write ------------------------------------------

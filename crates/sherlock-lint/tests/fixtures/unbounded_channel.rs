@@ -1,0 +1,95 @@
+//! Fixture for `unbounded-channel`: container growth in daemon loops.
+//! Scanned with a `crates/sherlockd/…` path label — the rule is scoped to
+//! the daemon crate, where loops are fed by sockets, not finite inputs.
+//! Lines carrying the REAL marker must be flagged; everything else must not.
+
+struct Conn {
+    pending: std::collections::VecDeque<Event>,
+    graveyard: Vec<Event>,
+}
+
+impl Conn {
+    /// A field that grows per chunk but drains in a sibling method: clean.
+    fn ingest(&mut self, chunks: Chunks) {
+        for chunk in chunks {
+            self.pending.push_back(parse(chunk));
+        }
+    }
+
+    fn next(&mut self) -> Option<Event> {
+        self.pending.pop_front()
+    }
+
+    /// A field nobody ever drains, growing per iteration: the leak.
+    fn bury(&mut self, chunks: Chunks) {
+        for chunk in chunks {
+            self.graveyard.push(parse(chunk)); // REAL
+        }
+    }
+}
+
+/// A local accumulator fed by a connection loop with no bound.
+fn serve(lines: Lines) {
+    let mut backlog: Vec<String> = Vec::new();
+    for line in lines {
+        backlog.push(line); // REAL
+    }
+}
+
+/// Shed-oldest before growing: the daemon's enqueue pattern, clean.
+fn pump(events: Events) {
+    let mut queue = std::collections::VecDeque::new();
+    loop {
+        if queue.len() >= MAX_PENDING {
+            queue.pop_front();
+        }
+        queue.push_back(next_event());
+    }
+}
+
+/// Pruning with `retain` bounds the accept loop's handle list: clean.
+fn accept(listener: Listener) {
+    let mut handles = Vec::new();
+    while running() {
+        handles.push(spawn_conn(&listener));
+        handles.retain(|h| !h.is_finished());
+    }
+}
+
+/// Growth outside any loop is one bounded allocation, not a channel.
+fn fixed() -> Vec<u8> {
+    let mut v = Vec::new();
+    v.push(1);
+    v.push(2);
+    v
+}
+
+/// `String` (and other non-Vec/VecDeque receivers) are out of scope.
+fn render(chars: Chars) -> String {
+    let mut out = String::new();
+    for c in chars {
+        out.push(c);
+    }
+    out
+}
+
+/// The escape documents a genuinely bounded accumulator.
+fn snapshot(rows: Rows) -> Vec<u64> {
+    let mut seqs = Vec::with_capacity(rows.len());
+    for row in rows {
+        // sherlock-lint: allow(unbounded-channel): one entry per buffered row
+        seqs.push(row.seq);
+    }
+    seqs
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may accumulate freely.
+    fn collect(lines: Lines) {
+        let mut all = Vec::new();
+        for line in lines {
+            all.push(line);
+        }
+    }
+}

@@ -175,6 +175,35 @@ fn unsynced_store_write_fixture_flags_exactly_the_marked_lines() {
 }
 
 #[test]
+fn unbounded_channel_fixture_flags_exactly_the_marked_lines() {
+    // The rule is path-scoped to the daemon crate, so label the fixture
+    // as sherlockd source instead of using `scan_fixture`.
+    let source = fixture("unbounded_channel.rs");
+    let findings = scan_source(
+        "crates/sherlockd/src/unbounded_channel.rs",
+        &source,
+        FileClass::Lib,
+        &RuleKind::ALL,
+    );
+    assert_matches_markers(&source, &findings, RuleKind::UnboundedChannel);
+    // The drained field, shed queue, retained handles, non-loop pushes,
+    // String receiver, the allow escape and the test module are silent.
+    let rule_hits = findings.iter().filter(|f| f.rule == RuleKind::UnboundedChannel).count();
+    assert_eq!(rule_hits, 2, "{findings:#?}");
+    // Outside the daemon crate the same source is out of scope.
+    let elsewhere = scan_source("crates/core/src/x.rs", &source, FileClass::Lib, &RuleKind::ALL);
+    assert!(!elsewhere.iter().any(|f| f.rule == RuleKind::UnboundedChannel), "{elsewhere:#?}");
+    // Bin/bench/test files may accumulate freely.
+    let other = scan_source(
+        "crates/sherlockd/src/unbounded_channel.rs",
+        &source,
+        FileClass::Other,
+        &RuleKind::ALL,
+    );
+    assert!(!other.iter().any(|f| f.rule == RuleKind::UnboundedChannel), "{other:#?}");
+}
+
+#[test]
 fn github_annotations_escape_workflow_metacharacters() {
     let f = Finding {
         rule: RuleKind::PanicPath,

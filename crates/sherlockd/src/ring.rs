@@ -1,0 +1,200 @@
+//! Bounded per-tenant ring buffers of aligned tuples.
+//!
+//! Each tenant stream is buffered in a [`TenantRing`]: a fixed-capacity
+//! window over the most recent rows, evicting oldest-first. The bound is
+//! the daemon's memory contract — a tenant flooding rows can never grow the
+//! process beyond `capacity × tenants`, it can only push its own history
+//! out of the window. Rows carry a monotonically increasing absolute
+//! **sequence number** so a detection over the (relative) window can be
+//! reported — and deduplicated — in absolute stream coordinates even after
+//! the window has slid.
+//!
+//! Cells are stored pre-parse ([`RawCell`]) rather than as a `Dataset`:
+//! datasets are append-only and intern categorical labels into a shared
+//! dictionary, neither of which mixes with eviction. The ring materializes
+//! a fresh `Dataset` snapshot on demand ([`TenantRing::to_dataset`]); the
+//! proptest suite pins that a wrapped ring materializes bit-identically to
+//! a flat slice of the same trailing rows.
+
+use std::collections::VecDeque;
+
+use dbsherlock_telemetry::{push_raw_row, Dataset, RawCell, Schema};
+
+/// One buffered telemetry row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingRow {
+    /// Absolute position in the tenant's stream (0-based, never reused).
+    pub seq: u64,
+    /// The row's own timestamp (as sent by the client; may skew).
+    pub timestamp: f64,
+    /// Parsed-but-uninterned cells, one per schema attribute.
+    pub cells: Vec<RawCell>,
+}
+
+/// A bounded, oldest-first-evicting buffer of one tenant's recent rows.
+#[derive(Debug, Clone)]
+pub struct TenantRing {
+    schema: Schema,
+    rows: VecDeque<RingRow>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl TenantRing {
+    /// An empty ring over `schema` holding at most `capacity` rows
+    /// (clamped to at least 1).
+    pub fn new(schema: Schema, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TenantRing { schema, rows: VecDeque::with_capacity(capacity), capacity, next_seq: 0 }
+    }
+
+    /// Replace the schema (a tenant re-sent its header), clearing buffered
+    /// rows but preserving the absolute sequence counter.
+    pub fn reset_schema(&mut self, schema: Schema) {
+        self.schema = schema;
+        self.rows.clear();
+    }
+
+    /// The ring's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Buffered row count (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sequence number of the next row to be pushed (= rows ever accepted).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Sequence number of the oldest buffered row, if any.
+    pub fn first_seq(&self) -> Option<u64> {
+        self.rows.front().map(|r| r.seq)
+    }
+
+    /// Append a row, evicting the oldest if the ring is full. Returns the
+    /// appended row's sequence number and whether an eviction happened.
+    pub fn push(&mut self, timestamp: f64, cells: Vec<RawCell>) -> (u64, bool) {
+        let evicted = self.rows.len() >= self.capacity;
+        if evicted {
+            self.rows.pop_front();
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.rows.push_back(RingRow { seq, timestamp, cells });
+        (seq, evicted)
+    }
+
+    /// The buffered rows, oldest first.
+    pub fn rows(&self) -> impl Iterator<Item = &RingRow> {
+        self.rows.iter()
+    }
+
+    /// Materialize the window as a fresh [`Dataset`] snapshot (rows oldest
+    /// first) plus the absolute sequence number of each dataset row, so
+    /// window-relative detection regions translate back to stream
+    /// coordinates. Rows that cannot be appended (e.g. a categorical
+    /// dictionary at capacity) are skipped and counted.
+    pub fn to_dataset(&self) -> RingSnapshot {
+        let mut dataset = Dataset::new(self.schema.clone());
+        let mut seqs = Vec::with_capacity(self.rows.len());
+        let mut skipped = 0usize;
+        for row in &self.rows {
+            match push_raw_row(&mut dataset, row.timestamp, &row.cells) {
+                // sherlock-lint: allow(unbounded-channel): one entry per buffered row; the ring's fixed capacity is the bound
+                Ok(()) => seqs.push(row.seq),
+                Err(_) => skipped += 1,
+            }
+        }
+        RingSnapshot { dataset, seqs, skipped }
+    }
+}
+
+/// A materialized window: the dataset, the per-row sequence map, and how
+/// many buffered rows could not be appended.
+#[derive(Debug, Clone)]
+pub struct RingSnapshot {
+    /// The window as an ordinary dataset (row `i` is the window's `i`-th
+    /// oldest surviving row).
+    pub dataset: Dataset,
+    /// `seqs[i]` = absolute sequence number of dataset row `i`.
+    pub seqs: Vec<u64>,
+    /// Buffered rows dropped during materialization.
+    pub skipped: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsherlock_telemetry::AttributeMeta;
+
+    fn schema() -> Schema {
+        Schema::from_attrs([AttributeMeta::numeric("cpu")]).unwrap()
+    }
+
+    fn num_row(v: f64) -> Vec<RawCell> {
+        vec![RawCell::Num(v)]
+    }
+
+    #[test]
+    fn bounded_and_evicts_oldest_first() {
+        let mut ring = TenantRing::new(schema(), 3);
+        for i in 0..5 {
+            let (seq, evicted) = ring.push(i as f64, num_row(i as f64));
+            assert_eq!(seq, i as u64);
+            assert_eq!(evicted, i >= 3);
+            assert!(ring.len() <= 3);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.first_seq(), Some(2));
+        let values: Vec<f64> = ring.rows().map(|r| r.timestamp).collect();
+        assert_eq!(values, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn snapshot_carries_sequence_map() {
+        let mut ring = TenantRing::new(schema(), 2);
+        for i in 0..4 {
+            ring.push(10.0 + i as f64, num_row(i as f64));
+        }
+        let snap = ring.to_dataset();
+        assert_eq!(snap.dataset.n_rows(), 2);
+        assert_eq!(snap.seqs, vec![2, 3]);
+        assert_eq!(snap.skipped, 0);
+        assert_eq!(snap.dataset.numeric(0).unwrap(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn reset_schema_clears_rows_but_keeps_seq() {
+        let mut ring = TenantRing::new(schema(), 4);
+        ring.push(0.0, num_row(1.0));
+        ring.push(1.0, num_row(2.0));
+        ring.reset_schema(schema());
+        assert!(ring.is_empty());
+        let (seq, _) = ring.push(2.0, num_row(3.0));
+        assert_eq!(seq, 2);
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let mut ring = TenantRing::new(schema(), 0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(0.0, num_row(1.0));
+        let (_, evicted) = ring.push(1.0, num_row(2.0));
+        assert!(evicted);
+        assert_eq!(ring.len(), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the per-tenant ring buffer: the daemon's memory
+//! bound and — the one that matters for correctness — the guarantee that
+//! running detection over a *wrapped* ring is bit-identical to running it
+//! over a flat slice of the same trailing rows. The window sliding must be
+//! invisible to the algorithm.
+
+use dbsherlock_core::{detect_anomaly, SherlockParams};
+use dbsherlock_sherlockd::TenantRing;
+use dbsherlock_telemetry::{AttributeMeta, Dataset, RawCell, Schema, Value};
+use proptest::prelude::*;
+
+fn numeric_schema() -> Schema {
+    Schema::from_attrs([AttributeMeta::numeric("signal"), AttributeMeta::numeric("steady")])
+        .unwrap()
+}
+
+/// A synthetic stream: quiet baseline with an optional sustained step
+/// anomaly, plus per-row jitter — the shape the §7 detector is built for.
+fn stream(n: usize, anomaly_at: usize, anomaly_len: usize, jitter_seed: u64) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|i| {
+            let jitter = ((i as u64).wrapping_mul(jitter_seed.max(1)) % 97) as f64 / 97.0;
+            let anomalous = i >= anomaly_at && i < anomaly_at + anomaly_len;
+            let signal = if anomalous { 80.0 + jitter } else { 5.0 + jitter };
+            (signal, 40.0 + jitter)
+        })
+        .collect()
+}
+
+proptest! {
+    /// The ring never exceeds its capacity, never loses the newest rows,
+    /// and numbers rows by absolute stream position.
+    #[test]
+    fn bounded_with_oldest_first_eviction(
+        capacity in 1usize..48,
+        n in 0usize..160,
+    ) {
+        let mut ring = TenantRing::new(numeric_schema(), capacity);
+        for i in 0..n {
+            let (seq, evicted) = ring.push(i as f64, vec![
+                RawCell::Num(i as f64),
+                RawCell::Num(0.0),
+            ]);
+            prop_assert_eq!(seq, i as u64);
+            prop_assert_eq!(evicted, i >= capacity);
+            prop_assert!(ring.len() <= capacity);
+        }
+        prop_assert_eq!(ring.len(), n.min(capacity));
+        prop_assert_eq!(ring.next_seq(), n as u64);
+        // The survivors are exactly the trailing rows, in order.
+        let expect_first = n.saturating_sub(capacity) as u64;
+        let seqs: Vec<u64> = ring.rows().map(|r| r.seq).collect();
+        let expect: Vec<u64> = (expect_first..n as u64).collect();
+        prop_assert_eq!(seqs, expect);
+    }
+
+    /// Materializing a wrapped ring is bit-identical (timestamps, every
+    /// numeric cell, and the detection outcome) to a dataset built flat
+    /// from the same trailing rows.
+    #[test]
+    fn wrapped_ring_detection_matches_flat_slice(
+        capacity in 48usize..120,
+        overflow in 1usize..80,
+        anomaly_at in 50usize..70,
+        anomaly_len in 12usize..18,
+        jitter_seed in 1u64..5000,
+    ) {
+        let n = capacity + overflow;
+        let rows = stream(n, n - capacity + anomaly_at, anomaly_len, jitter_seed);
+
+        let mut ring = TenantRing::new(numeric_schema(), capacity);
+        for (i, (signal, steady)) in rows.iter().enumerate() {
+            ring.push(i as f64, vec![RawCell::Num(*signal), RawCell::Num(*steady)]);
+        }
+        let snapshot = ring.to_dataset();
+        prop_assert_eq!(snapshot.skipped, 0);
+        prop_assert_eq!(snapshot.dataset.n_rows(), capacity);
+
+        // The same trailing window, built flat with no ring in sight.
+        let mut flat = Dataset::new(numeric_schema());
+        for (i, (signal, steady)) in rows.iter().enumerate().skip(n - capacity) {
+            flat.push_row(i as f64, &[Value::Num(*signal), Value::Num(*steady)]).unwrap();
+        }
+
+        prop_assert_eq!(snapshot.dataset.timestamps(), flat.timestamps());
+        for attr_id in 0..2 {
+            let ring_bits: Vec<u64> =
+                snapshot.dataset.numeric(attr_id).unwrap().iter().map(|v| v.to_bits()).collect();
+            let flat_bits: Vec<u64> =
+                flat.numeric(attr_id).unwrap().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(ring_bits, flat_bits);
+        }
+
+        let params = SherlockParams::default();
+        prop_assert_eq!(detect_anomaly(&snapshot.dataset, &params), detect_anomaly(&flat, &params));
+
+        // The sequence map points at the right absolute rows.
+        let expect: Vec<u64> = ((n - capacity) as u64..n as u64).collect();
+        prop_assert_eq!(snapshot.seqs, expect);
+    }
+
+    /// Categorical cells survive the wrap too: labels intern in first-seen
+    /// window order, identically to a flat build.
+    #[test]
+    fn wrapped_categorical_columns_match_flat_slice(
+        capacity in 2usize..24,
+        overflow in 1usize..40,
+        labels in proptest::collection::vec("[a-c]", 8..64),
+    ) {
+        let schema = Schema::from_attrs([
+            AttributeMeta::numeric("x"),
+            AttributeMeta::categorical("job"),
+        ]).unwrap();
+        let n = (capacity + overflow).min(labels.len());
+        let mut ring = TenantRing::new(schema.clone(), capacity);
+        for (i, label) in labels.iter().take(n).enumerate() {
+            ring.push(i as f64, vec![RawCell::Num(i as f64), RawCell::Label(label.clone())]);
+        }
+        let snapshot = ring.to_dataset();
+
+        let mut flat = Dataset::new(schema);
+        for (i, label) in labels.iter().take(n).enumerate().skip(n.saturating_sub(capacity)) {
+            let value = flat.intern(1, label).unwrap();
+            flat.push_row(i as f64, &[Value::Num(i as f64), value]).unwrap();
+        }
+
+        let (ring_codes, ring_dict) = snapshot.dataset.categorical(1).unwrap();
+        let (flat_codes, flat_dict) = flat.categorical(1).unwrap();
+        prop_assert_eq!(ring_codes, flat_codes);
+        prop_assert_eq!(ring_dict.len(), flat_dict.len());
+    }
+}

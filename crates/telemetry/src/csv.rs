@@ -130,6 +130,48 @@ pub fn from_csv_lossy(text: &str) -> Result<(Dataset, Vec<IngestWarning>)> {
     let mut lines = text.lines().enumerate();
     let (_, header) =
         lines.next().ok_or(TelemetryError::Parse { line: 1, message: "empty input".into() })?;
+    let schema = parse_header_lossy(header, &mut warnings)?;
+    let mut dataset = Dataset::new(schema);
+    let mut last_timestamp = f64::NEG_INFINITY;
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some((timestamp, cells)) =
+            parse_line_lossy(dataset.schema(), line, line_no, &mut warnings)
+        else {
+            continue;
+        };
+        if timestamp <= last_timestamp {
+            warnings.push(IngestWarning::NonMonotonicTimestamp { line: line_no, timestamp });
+        }
+        last_timestamp = last_timestamp.max(timestamp);
+        if let Err(e) = push_raw_row(&mut dataset, timestamp, &cells) {
+            warnings.push(IngestWarning::SkippedRow { line: line_no, reason: e.to_string() });
+        }
+    }
+    Ok((dataset, warnings))
+}
+
+/// A parsed-but-not-yet-interned cell from [`parse_line_lossy`].
+///
+/// Categorical labels stay as owned strings so a row can be parsed without
+/// mutable access to any [`Dataset`] — the streaming daemon buffers rows in
+/// per-tenant rings long before a dataset exists to intern into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawCell {
+    /// A numeric cell (possibly NaN after a repair).
+    Num(f64),
+    /// A categorical label, not yet interned.
+    Label(String),
+}
+
+/// Parse a CSV header line into a [`Schema`] with the lossy repair policy
+/// (missing/unknown kind tags assumed numeric, duplicate names renamed —
+/// both reported as [`IngestWarning::HeaderDrift`]). Only a header too
+/// damaged to yield any schema is a hard error.
+pub fn parse_header_lossy(header: &str, warnings: &mut Vec<IngestWarning>) -> Result<Schema> {
     let header_fields = match split_line(header, 1) {
         Ok(fields) => fields,
         Err(_) => {
@@ -178,115 +220,110 @@ pub fn from_csv_lossy(text: &str) -> Result<(Dataset, Vec<IngestWarning>)> {
             }
         }
     }
+    Ok(schema)
+}
+
+/// Parse one data line against `schema` with the lossy repair policy:
+/// arity padded/truncated, bad numeric cells repaired to NaN, empty
+/// categorical cells filled with `"<missing>"` — every repair reported.
+/// Returns `None` (with a warning) for lines that cannot yield a row: a
+/// fragment cut mid-quote or an unusable timestamp.
+///
+/// Cross-line policies stay with the caller: monotonic-timestamp tracking
+/// and the dictionary-capacity intern check happen where the line stream's
+/// state lives (see [`from_csv_lossy`] and [`push_raw_row`]).
+pub fn parse_line_lossy(
+    schema: &Schema,
+    line: &str,
+    line_no: usize,
+    warnings: &mut Vec<IngestWarning>,
+) -> Option<(f64, Vec<RawCell>)> {
+    let mut fields = match split_line(line, line_no) {
+        Ok(fields) => fields,
+        Err(_) => {
+            // An unterminated quote usually means the stream was cut
+            // mid-row; drop the fragment.
+            warnings.push(IngestWarning::TruncatedInput { line: line_no });
+            return None;
+        }
+    };
     let n_attrs = schema.len();
-    let mut dataset = Dataset::new(schema);
-    let mut last_line_no = 1usize;
-    let mut last_timestamp = f64::NEG_INFINITY;
-    for (idx, line) in lines {
-        let line_no = idx + 1;
-        last_line_no = line_no;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let mut fields = match split_line(line, line_no) {
-            Ok(fields) => fields,
-            Err(_) => {
-                // An unterminated quote usually means the file was cut
-                // mid-row; drop the fragment.
-                warnings.push(IngestWarning::TruncatedInput { line: line_no });
-                continue;
-            }
-        };
-        let expected = n_attrs + 1;
-        if fields.len() != expected {
-            warnings.push(IngestWarning::ArityRepair {
-                line: line_no,
-                expected,
-                found: fields.len(),
-            });
-            if fields.len() < expected {
-                fields.resize(expected, String::new());
-            } else {
-                fields.truncate(expected);
-            }
-        }
-        let timestamp = match parse_num(&fields[0], line_no) {
-            Ok(t) if t.is_finite() => t,
-            _ => {
-                warnings.push(IngestWarning::SkippedRow {
-                    line: line_no,
-                    reason: format!("unusable timestamp {:?}", fields[0]),
-                });
-                continue;
-            }
-        };
-        if timestamp <= last_timestamp {
-            warnings.push(IngestWarning::NonMonotonicTimestamp { line: line_no, timestamp });
-        }
-        last_timestamp = last_timestamp.max(timestamp);
-        let mut values = Vec::with_capacity(n_attrs);
-        let mut row_ok = true;
-        for (attr_id, field) in fields[1..].iter().enumerate() {
-            let attr_name = || dataset.schema().attr(attr_id).name.clone();
-            let value = match dataset.schema().attr(attr_id).kind {
-                AttributeKind::Numeric => match parse_num(field, line_no) {
-                    Ok(v) => {
-                        if !v.is_finite() {
-                            warnings.push(IngestWarning::NonFiniteCell {
-                                line: line_no,
-                                attribute: attr_name(),
-                            });
-                        }
-                        Value::Num(v)
-                    }
-                    Err(_) => {
-                        warnings.push(IngestWarning::RepairedCell {
-                            line: line_no,
-                            attribute: attr_name(),
-                            reason: if field.trim().is_empty() {
-                                "empty cell".to_string()
-                            } else {
-                                format!("invalid number {field:?}")
-                            },
-                        });
-                        Value::Num(f64::NAN)
-                    }
-                },
-                AttributeKind::Categorical => {
-                    let label = if field.is_empty() { "<missing>" } else { field.as_str() };
-                    if field.is_empty() {
-                        warnings.push(IngestWarning::RepairedCell {
-                            line: line_no,
-                            attribute: attr_name(),
-                            reason: "empty cell".to_string(),
-                        });
-                    }
-                    match dataset.intern(attr_id, label) {
-                        Ok(v) => v,
-                        Err(e) => {
-                            warnings.push(IngestWarning::SkippedRow {
-                                line: line_no,
-                                reason: e.to_string(),
-                            });
-                            row_ok = false;
-                            break;
-                        }
-                    }
-                }
-            };
-            values.push(value);
-        }
-        if !row_ok {
-            continue;
-        }
-        if let Err(e) = dataset.push_row(timestamp, &values) {
-            warnings.push(IngestWarning::SkippedRow { line: line_no, reason: e.to_string() });
+    let expected = n_attrs + 1;
+    if fields.len() != expected {
+        warnings.push(IngestWarning::ArityRepair { line: line_no, expected, found: fields.len() });
+        if fields.len() < expected {
+            fields.resize(expected, String::new());
+        } else {
+            fields.truncate(expected);
         }
     }
-    // A file that ends without a newline after real content is fine; but if
-    // the last physical character cut a quoted field we already warned above.
-    let _ = last_line_no;
-    Ok((dataset, warnings))
+    let timestamp = match parse_num(&fields[0], line_no) {
+        Ok(t) if t.is_finite() => t,
+        _ => {
+            warnings.push(IngestWarning::SkippedRow {
+                line: line_no,
+                reason: format!("unusable timestamp {:?}", fields[0]),
+            });
+            return None;
+        }
+    };
+    let mut cells = Vec::with_capacity(n_attrs);
+    for (attr_id, field) in fields[1..].iter().enumerate() {
+        let attr_name = || schema.attr(attr_id).name.clone();
+        let cell = match schema.attr(attr_id).kind {
+            AttributeKind::Numeric => match parse_num(field, line_no) {
+                Ok(v) => {
+                    if !v.is_finite() {
+                        warnings.push(IngestWarning::NonFiniteCell {
+                            line: line_no,
+                            attribute: attr_name(),
+                        });
+                    }
+                    RawCell::Num(v)
+                }
+                Err(_) => {
+                    warnings.push(IngestWarning::RepairedCell {
+                        line: line_no,
+                        attribute: attr_name(),
+                        reason: if field.trim().is_empty() {
+                            "empty cell".to_string()
+                        } else {
+                            format!("invalid number {field:?}")
+                        },
+                    });
+                    RawCell::Num(f64::NAN)
+                }
+            },
+            AttributeKind::Categorical => {
+                if field.is_empty() {
+                    warnings.push(IngestWarning::RepairedCell {
+                        line: line_no,
+                        attribute: attr_name(),
+                        reason: "empty cell".to_string(),
+                    });
+                    RawCell::Label("<missing>".to_string())
+                } else {
+                    RawCell::Label(field.clone())
+                }
+            }
+        };
+        cells.push(cell);
+    }
+    Some((timestamp, cells))
+}
+
+/// Append a [`parse_line_lossy`] row to `dataset`, interning categorical
+/// labels. The cells must match the dataset's schema arity and kinds.
+pub fn push_raw_row(dataset: &mut Dataset, timestamp: f64, cells: &[RawCell]) -> Result<()> {
+    let mut values = Vec::with_capacity(cells.len());
+    for (attr_id, cell) in cells.iter().enumerate() {
+        let value = match cell {
+            RawCell::Num(v) => Value::Num(*v),
+            RawCell::Label(label) => dataset.intern(attr_id, label)?,
+        };
+        values.push(value);
+    }
+    dataset.push_row(timestamp, &values)
 }
 
 /// Format a float compactly: integers lose the trailing `.0`.

@@ -45,7 +45,9 @@ pub use align::{
     RepairOptions,
 };
 pub use attribute::{AttributeKind, AttributeMeta, Schema};
-pub use csv::{from_csv, from_csv_lossy, to_csv};
+pub use csv::{
+    from_csv, from_csv_lossy, parse_header_lossy, parse_line_lossy, push_raw_row, to_csv, RawCell,
+};
 pub use dataset::{Column, Dataset};
 pub use error::{IngestWarning, Result, TelemetryError};
 pub use faults::{CorruptionEvent, CorruptionReport, FaultKind, FaultPlan, FaultSpec};

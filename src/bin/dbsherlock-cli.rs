@@ -16,7 +16,7 @@
 
 use std::process::ExitCode;
 
-use dbsherlock::core::{DiagnosisBudget, ModelRepository, ModelStore, Sherlock, SherlockParams};
+use dbsherlock::core::{ArgScan, ModelRepository, ModelStore, Sherlock, SherlockParams};
 use dbsherlock::prelude::*;
 use dbsherlock::telemetry::{from_csv, from_csv_lossy, render_plot, to_csv, PlotOptions};
 
@@ -104,6 +104,8 @@ options:
   --deadline-ms <N>
            wall-clock budget for one diagnosis; a blown deadline fails with
            exit code 3 instead of hanging (default: unlimited)
+  --max-rows <N> / --max-partitions <N>
+           reject oversized diagnoses up front instead of starting them
 
 model repository files are stored as checksummed, crash-safe records: every
 save keeps the previous generation as <path>.prev, and a torn or corrupt
@@ -115,9 +117,10 @@ exit codes:
   0 success   1 usage error   2 unreadable/unparseable input   3 diagnosis failure";
 
 fn run(args: &[String]) -> Result<(), CliError> {
-    let mut iter = args.iter();
-    let command = iter.next().ok_or("missing command")?;
-    let rest: Vec<&String> = iter.collect();
+    let command = args.first().ok_or("missing command")?;
+    // Shared scanner (also used by sherlockd): `--name value` options,
+    // bare flags, leading positionals.
+    let rest = ArgScan::new(&args[1..]);
     match command.as_str() {
         "simulate" => simulate(&rest),
         "plot" => plot(&rest),
@@ -132,16 +135,6 @@ fn run(args: &[String]) -> Result<(), CliError> {
         }
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
-}
-
-/// Pull `--name value` out of an option list.
-fn option<'a>(args: &'a [&String], name: &str) -> Option<&'a str> {
-    args.iter().position(|a| a.as_str() == name).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
-}
-
-/// Is the bare `--strict` flag present?
-fn strict_mode(args: &[&String]) -> bool {
-    args.iter().any(|a| a.as_str() == "--strict")
 }
 
 /// Parse `A..B` into a region over a dataset of `n_rows` rows.
@@ -218,40 +211,31 @@ fn save_repository(path: &str, repo: &ModelRepository) -> Result<(), CliError> {
     Ok(())
 }
 
-fn params_from(args: &[&String]) -> Result<SherlockParams, CliError> {
+fn params_from(args: &ArgScan<'_>) -> Result<SherlockParams, CliError> {
     let mut builder = SherlockParams::builder();
-    if let Some(theta) = option(args, "--theta") {
-        let theta: f64 = theta.parse().map_err(|_| format!("bad --theta {theta:?}"))?;
+    if let Some(theta) = args.parsed::<f64>("--theta")? {
         builder = builder.theta(theta);
     }
-    if let Some(threads) = option(args, "--threads") {
-        let exec = match threads {
-            "auto" => ExecPolicy::Auto,
-            "serial" | "1" => ExecPolicy::Serial,
-            n => ExecPolicy::Threads(n.parse().map_err(|_| format!("bad --threads {threads:?}"))?),
-        };
+    if let Some(exec) = args.exec_policy()? {
         builder = builder.exec(exec);
     }
-    if let Some(ms) = option(args, "--deadline-ms") {
-        let ms: u64 = ms.parse().map_err(|_| format!("bad --deadline-ms {ms:?}"))?;
-        builder = builder.budget(DiagnosisBudget::unlimited().with_deadline_ms(ms));
+    if let Some(budget) = args.budget()? {
+        builder = builder.budget(budget);
     }
     builder.build().map_err(|e| CliError::Usage(e.to_string()))
 }
 
-fn simulate(args: &[&String]) -> Result<(), CliError> {
-    let kind_name = option(args, "--kind").ok_or("simulate requires --kind")?;
-    let out = option(args, "--out").ok_or("simulate requires --out")?;
+fn simulate(args: &ArgScan<'_>) -> Result<(), CliError> {
+    let kind_name = args.option("--kind").ok_or("simulate requires --kind")?;
+    let out = args.option("--out").ok_or("simulate requires --out")?;
     let kind = AnomalyKind::ALL
         .into_iter()
         .find(|k| k.name().eq_ignore_ascii_case(kind_name))
         .ok_or_else(|| format!("unknown anomaly {kind_name:?}; see `dbsherlock-cli anomalies`"))?;
-    let duration: usize =
-        option(args, "--duration").map_or(Ok(170), str::parse).map_err(|_| "bad --duration")?;
-    let start: usize =
-        option(args, "--start").map_or(Ok(60), str::parse).map_err(|_| "bad --start")?;
-    let len: usize = option(args, "--len").map_or(Ok(50), str::parse).map_err(|_| "bad --len")?;
-    let seed: u64 = option(args, "--seed").map_or(Ok(42), str::parse).map_err(|_| "bad --seed")?;
+    let duration: usize = args.parsed_or("--duration", 170)?;
+    let start: usize = args.parsed_or("--start", 60)?;
+    let len: usize = args.parsed_or("--len", 50)?;
+    let seed: u64 = args.parsed_or("--seed", 42)?;
 
     let labeled = Scenario::new(WorkloadConfig::tpcc_default(), duration, seed)
         .with_injection(Injection::new(kind, start, len))
@@ -268,29 +252,29 @@ fn simulate(args: &[&String]) -> Result<(), CliError> {
     Ok(())
 }
 
-fn plot(args: &[&String]) -> Result<(), CliError> {
-    let path = args.first().ok_or("plot requires a CSV path")?;
-    let attr = args.get(1).ok_or("plot requires an attribute name")?;
-    let dataset = load_dataset(path, strict_mode(args))?;
+fn plot(args: &ArgScan<'_>) -> Result<(), CliError> {
+    let path = args.positional(0).ok_or("plot requires a CSV path")?;
+    let attr = args.positional(1).ok_or("plot requires an attribute name")?;
+    let dataset = load_dataset(path, args.flag("--strict"))?;
     let region =
-        option(args, "--region").map(|spec| parse_region(spec, dataset.n_rows())).transpose()?;
+        args.option("--region").map(|spec| parse_region(spec, dataset.n_rows())).transpose()?;
     let text = render_plot(&dataset, attr, region.as_ref(), &PlotOptions::default())
         .map_err(|e| CliError::Diagnosis(e.to_string()))?;
     print!("{text}");
     Ok(())
 }
 
-fn explain(args: &[&String]) -> Result<(), CliError> {
-    let path = args.first().ok_or("explain requires a CSV path")?;
-    let dataset = load_dataset(path, strict_mode(args))?;
-    let abnormal_spec = option(args, "--abnormal").ok_or("explain requires --abnormal A..B")?;
+fn explain(args: &ArgScan<'_>) -> Result<(), CliError> {
+    let path = args.positional(0).ok_or("explain requires a CSV path")?;
+    let dataset = load_dataset(path, args.flag("--strict"))?;
+    let abnormal_spec = args.option("--abnormal").ok_or("explain requires --abnormal A..B")?;
     let abnormal = parse_region(abnormal_spec, dataset.n_rows())?;
     let normal =
-        option(args, "--normal").map(|spec| parse_region(spec, dataset.n_rows())).transpose()?;
+        args.option("--normal").map(|spec| parse_region(spec, dataset.n_rows())).transpose()?;
 
     let mut sherlock =
         Sherlock::new(params_from(args)?).with_domain_knowledge(DomainKnowledge::mysql_linux());
-    if let Some(models_path) = option(args, "--models") {
+    if let Some(models_path) = args.option("--models") {
         *sherlock.repository_mut() = load_repository(models_path)?;
     }
     let explanation = sherlock
@@ -313,15 +297,15 @@ fn explain(args: &[&String]) -> Result<(), CliError> {
     Ok(())
 }
 
-fn feedback(args: &[&String]) -> Result<(), CliError> {
-    let path = args.first().ok_or("feedback requires a CSV path")?;
-    let dataset = load_dataset(path, strict_mode(args))?;
+fn feedback(args: &ArgScan<'_>) -> Result<(), CliError> {
+    let path = args.positional(0).ok_or("feedback requires a CSV path")?;
+    let dataset = load_dataset(path, args.flag("--strict"))?;
     let abnormal = parse_region(
-        option(args, "--abnormal").ok_or("feedback requires --abnormal")?,
+        args.option("--abnormal").ok_or("feedback requires --abnormal")?,
         dataset.n_rows(),
     )?;
-    let cause = option(args, "--cause").ok_or("feedback requires --cause")?;
-    let models_path = option(args, "--models").ok_or("feedback requires --models")?;
+    let cause = args.option("--cause").ok_or("feedback requires --cause")?;
+    let models_path = args.option("--models").ok_or("feedback requires --models")?;
 
     let mut sherlock = Sherlock::new(params_from(args)?);
     *sherlock.repository_mut() = load_repository(models_path)?;
@@ -343,9 +327,9 @@ fn feedback(args: &[&String]) -> Result<(), CliError> {
     Ok(())
 }
 
-fn detect(args: &[&String]) -> Result<(), CliError> {
-    let path = args.first().ok_or("detect requires a CSV path")?;
-    let dataset = load_dataset(path, strict_mode(args))?;
+fn detect(args: &ArgScan<'_>) -> Result<(), CliError> {
+    let path = args.positional(0).ok_or("detect requires a CSV path")?;
+    let dataset = load_dataset(path, args.flag("--strict"))?;
     let sherlock = Sherlock::new(SherlockParams::default());
     match sherlock.detect(&dataset) {
         Some(detection) => {
