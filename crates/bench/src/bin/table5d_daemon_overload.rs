@@ -117,7 +117,9 @@ fn fault_schedule(tenant: usize) -> (&'static str, Vec<IngestFault>) {
         ),
         4 => ("stall", vec![IngestFault::StallReader { at: 10, ms: 15 }]),
         // Late transport deaths: the anomaly has arrived, the tail is lost.
-        5 if tenant.is_multiple_of(2) => ("torn", vec![IngestFault::TornLine { at: 130, keep_bytes: 4 }]),
+        5 if tenant.is_multiple_of(2) => {
+            ("torn", vec![IngestFault::TornLine { at: 130, keep_bytes: 4 }])
+        }
         _ => ("disconnect", vec![IngestFault::Disconnect { at: 140 }]),
     }
 }

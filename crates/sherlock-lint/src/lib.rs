@@ -11,7 +11,7 @@
 //! mutual-information filter. A single NaN-unsafe comparison, panicking
 //! index, or unseeded RNG silently corrupts diagnoses or breaks bench
 //! reproducibility. `clippy` covers the generic half of that surface; this
-//! crate covers the domain half (see [`rules::RuleKind`]) in two layers.
+//! crate covers the domain half (see [`rules::RuleKind`]) in three layers.
 //!
 //! **Token rules** pattern-match the lexer's stream directly:
 //!
@@ -45,6 +45,24 @@
 //!   daemon (`crates/sherlockd`) library code with no capacity check,
 //!   shed, or drain in reach (client-fed buffers must stay bounded).
 //!
+//! **Flow rules** run on the [`flow`] layer — per-function control-flow
+//! graphs over the delimiter tree, a worklist gen/kill dataflow engine for
+//! guard liveness, and a workspace-wide call graph resolved through the
+//! import tables — so they can reason about *order and reach*, not just
+//! names in a scope:
+//!
+//! * `lock-order-inversion` — two mutexes (think `tenants`/`queue`)
+//!   acquired in opposite orders on different call paths, including one
+//!   interprocedural step via call-graph summaries.
+//! * `guard-across-blocking` — a live `MutexGuard` spanning a blocking
+//!   call (`join`/`accept`/`read*`/`write_all`/`recv`/`sleep`); Condvar
+//!   waits are exempt because they release the guard atomically.
+//! * `swallowed-error` — `let _ =` / `.ok()` on fallible store/net/
+//!   protocol writes outside shutdown paths.
+//! * (upgrade) `budget-blind-loop` now accepts a loop whose *callees*
+//!   poll the budget — the call-graph reachability fixpoint replaced the
+//!   old file-wide mention heuristic.
+//!
 //! The build is hermetic, so everything here is hand-rolled on `std`: a
 //! token-level Rust lexer ([`lexer`]) instead of `syn`, a tiny JSON emitter
 //! instead of `serde`, and a plain-text suppression baseline
@@ -56,6 +74,7 @@
 //! place, with the justification in the same comment.
 
 pub mod baseline;
+pub mod flow;
 pub mod lexer;
 pub mod rules;
 pub mod semantic;

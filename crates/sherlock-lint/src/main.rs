@@ -6,6 +6,7 @@
 //! cargo run -p sherlock-lint -- --json
 //! cargo run -p sherlock-lint -- --rule nan-unsafe --no-baseline
 //! cargo run -p sherlock-lint -- --github       # CI annotations
+//! cargo run -p sherlock-lint -- --sarif        # SARIF 2.1.0 (code scanning upload)
 //! ```
 //!
 //! Exit codes: `0` clean, `1` new findings, `2` usage or I/O error.
@@ -31,6 +32,7 @@ OPTIONS:
     --rule <NAME>       run only this rule (repeatable); default: all rules
     --json              machine-readable output
     --github            GitHub Actions `::error` annotations for new findings
+    --sarif             SARIF 2.1.0 output for new findings (code scanning)
     --list-rules        print the rule names and exit
     -h, --help          this help
 ";
@@ -43,6 +45,7 @@ struct Args {
     rules: Vec<RuleKind>,
     json: bool,
     github: bool,
+    sarif: bool,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -54,6 +57,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         rules: Vec::new(),
         json: false,
         github: false,
+        sarif: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -68,6 +72,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--no-baseline" => args.no_baseline = true,
             "--json" => args.json = true,
             "--github" => args.github = true,
+            "--sarif" => args.sarif = true,
             "--rule" => {
                 let name = iter.next().ok_or("--rule needs a value")?;
                 let rule = RuleKind::from_name(&name)
@@ -151,7 +156,9 @@ fn run(args: Args) -> Result<bool, String> {
     };
     let diff = baseline.diff(&findings);
 
-    if args.json {
+    if args.sarif {
+        print!("{}", render_sarif(&diff));
+    } else if args.json {
         print!("{}", render_json(&diff, &findings));
     } else {
         for finding in &diff.new {
@@ -211,6 +218,43 @@ fn render_json(diff: &sherlock_lint::baseline::Diff<'_>, all: &[sherlock_lint::F
         diff.baselined,
         diff.stale
     ));
+    out
+}
+
+/// SARIF 2.1.0, one run: rule metadata from [`RuleKind`], one `result` with
+/// a physical location per *new* finding (baselined findings are accepted
+/// history, not alerts). Consumed by `github/codeql-action/upload-sarif`.
+fn render_sarif(diff: &sherlock_lint::baseline::Diff<'_>) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"sherlock-lint\",\n          \
+         \"informationUri\": \"https://github.com/dbsherlock\",\n          \"rules\": [\n",
+    );
+    for (i, rule) in RuleKind::ALL.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{}\n",
+            json_str(rule.name()),
+            json_str(rule.summary()),
+            if i + 1 < RuleKind::ALL.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, f) in diff.new.iter().enumerate() {
+        let rule_index = RuleKind::ALL.iter().position(|r| *r == f.rule).unwrap_or(0);
+        out.push_str(&format!(
+            "        {{\"ruleId\": {}, \"ruleIndex\": {rule_index}, \"level\": \"error\", \
+             \"message\": {{\"text\": {}}}, \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": {}}}, \"region\": {{\"startLine\": \
+             {}}}}}}}]}}{}\n",
+            json_str(f.rule.name()),
+            json_str(&f.message),
+            json_str(&f.path),
+            f.line.max(1),
+            if i + 1 < diff.new.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
     out
 }
 

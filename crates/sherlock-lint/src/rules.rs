@@ -6,6 +6,7 @@
 
 use std::fmt;
 
+use crate::flow::{FileFlow, FlowIndex};
 use crate::lexer::{lex, Tok, Token};
 use crate::syntax::FileSyntax;
 
@@ -56,11 +57,25 @@ pub enum RuleKind {
     /// connection loop without a bound is how a flooding client pins the
     /// process — every accumulator must check, shed, or drain.
     UnboundedChannel,
+    /// Flow: the same two mutexes acquired in opposite orders on different
+    /// paths (including one interprocedural call-graph step) — the classic
+    /// deadlock recipe between `tenants` and `queue`.
+    LockOrderInversion,
+    /// Flow: a live `MutexGuard` spans a blocking call (`join`, `accept`,
+    /// `read*`, `write_all`, `recv`, `sleep`, …) — one stalled peer then
+    /// pins every thread waiting on that lock. Condvar waits are exempt
+    /// (they release the guard atomically).
+    GuardAcrossBlocking,
+    /// Flow: `let _ =` / `.ok()` on a fallible store/net/protocol write
+    /// outside shutdown paths — failures must be counted, logged, or
+    /// propagated.
+    SwallowedError,
 }
 
 impl RuleKind {
-    /// All rules, in reporting order (token rules, then semantic rules).
-    pub const ALL: [RuleKind; 11] = [
+    /// All rules, in reporting order (token rules, then semantic rules,
+    /// then flow rules).
+    pub const ALL: [RuleKind; 14] = [
         RuleKind::PanicPath,
         RuleKind::NanUnsafe,
         RuleKind::UnseededRng,
@@ -72,6 +87,9 @@ impl RuleKind {
         RuleKind::BudgetBlindLoop,
         RuleKind::UnsyncedStoreWrite,
         RuleKind::UnboundedChannel,
+        RuleKind::LockOrderInversion,
+        RuleKind::GuardAcrossBlocking,
+        RuleKind::SwallowedError,
     ];
 
     /// Stable kebab-case name (used in baselines and allow-escapes).
@@ -88,6 +106,38 @@ impl RuleKind {
             RuleKind::BudgetBlindLoop => "budget-blind-loop",
             RuleKind::UnsyncedStoreWrite => "unsynced-store-write",
             RuleKind::UnboundedChannel => "unbounded-channel",
+            RuleKind::LockOrderInversion => "lock-order-inversion",
+            RuleKind::GuardAcrossBlocking => "guard-across-blocking",
+            RuleKind::SwallowedError => "swallowed-error",
+        }
+    }
+
+    /// One-line description (SARIF rule metadata; also the catalog hook).
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleKind::PanicPath => "unwrap/expect/panic!/[]-indexing in non-test library code",
+            RuleKind::NanUnsafe => {
+                "NaN-unsafe float comparison or partial_cmp in a sort comparator"
+            }
+            RuleKind::UnseededRng => "entropy-seeded RNG construction breaks reproducibility",
+            RuleKind::DenyHeader => "crate root missing the clippy panic-policy deny header",
+            RuleKind::RawSpawn => "bare thread::spawn/scope outside the execution layer",
+            RuleKind::RawFsWrite => "bare fs::write outside the crash-safe store",
+            RuleKind::NondetIteration => {
+                "HashMap/HashSet iteration feeding ordered output without a sort"
+            }
+            RuleKind::RawPanicHook => "panic hook swap outside chaos::quiet_panics",
+            RuleKind::BudgetBlindLoop => {
+                "loop in a budget-carrying stage that neither polls the budget \
+                 nor calls anything that does"
+            }
+            RuleKind::UnsyncedStoreWrite => "filesystem mutation outside the store module",
+            RuleKind::UnboundedChannel => "unbounded buffer growth in a daemon loop",
+            RuleKind::LockOrderInversion => {
+                "two mutexes acquired in opposite orders on different call paths"
+            }
+            RuleKind::GuardAcrossBlocking => "a live MutexGuard spans a blocking call",
+            RuleKind::SwallowedError => "let _ = / .ok() discards a fallible store/net write",
         }
     }
 
@@ -189,8 +239,32 @@ const ENTROPY_RNGS: &[&str] = &["thread_rng", "from_entropy", "from_os_rng", "tr
 /// Float constants whose `==` comparison is a NaN/∞ smell.
 const FLOAT_CONSTS: &[&str] = &["NAN", "INFINITY", "NEG_INFINITY"];
 
-/// Scan one file's source. `path` is only used to label findings.
+/// The flow-layer rules (plus `budget-blind-loop`, whose interprocedural
+/// poll check consumes the same index): any of these forces the flow
+/// analysis on.
+pub(crate) const FLOW: [RuleKind; 4] = [
+    RuleKind::LockOrderInversion,
+    RuleKind::GuardAcrossBlocking,
+    RuleKind::SwallowedError,
+    RuleKind::BudgetBlindLoop,
+];
+
+/// Scan one file's source. `path` is only used to label findings. Flow
+/// rules run against a file-local call-graph index; workspace scans use
+/// [`scan_source_indexed`] with the shared index instead.
 pub fn scan_source(path: &str, source: &str, class: FileClass, rules: &[RuleKind]) -> Vec<Finding> {
+    scan_source_indexed(path, source, class, rules, None)
+}
+
+/// [`scan_source`] with an optional pre-built workspace [`FlowIndex`] so
+/// interprocedural facts cross file boundaries.
+pub fn scan_source_indexed(
+    path: &str,
+    source: &str,
+    class: FileClass,
+    rules: &[RuleKind],
+    index: Option<&FlowIndex>,
+) -> Vec<Finding> {
     let lexed = lex(source);
     let toks = &lexed.tokens;
     let lines: Vec<&str> = source.lines().collect();
@@ -416,9 +490,28 @@ pub fn scan_source(path: &str, source: &str, class: FileClass, rules: &[RuleKind
         RuleKind::UnsyncedStoreWrite,
         RuleKind::UnboundedChannel,
     ];
-    if rules.iter().any(|r| SEMANTIC.contains(r)) {
+    let needs_semantic = rules.iter().any(|r| SEMANTIC.contains(r));
+    let needs_flow = rules.iter().any(|r| FLOW.contains(r));
+    if needs_semantic || needs_flow {
         let syntax = FileSyntax::analyze(toks);
-        crate::semantic::scan_semantic(path, toks, &syntax, class, &test_mask, rules, &mut emit);
+        let flow = needs_flow.then(|| FileFlow::analyze(toks, &syntax, &test_mask));
+        // No workspace index supplied: fall back to a file-local one so
+        // single-file scans (fixtures, tests) still get call-graph facts.
+        let local = match (&flow, index) {
+            (Some(f), None) => Some(FlowIndex::from_file(path, f)),
+            _ => None,
+        };
+        let idx = index.or(local.as_ref());
+        if needs_semantic {
+            crate::semantic::scan_semantic(
+                path, toks, &syntax, class, &test_mask, rules, idx, &mut emit,
+            );
+        }
+        if let (Some(flow), Some(idx)) = (&flow, idx) {
+            crate::flow::scan_flow(
+                path, toks, &syntax, flow, class, &test_mask, rules, idx, &mut emit,
+            );
+        }
     }
     findings
 }
@@ -475,7 +568,7 @@ fn matching_paren(toks: &[Token], open: usize) -> Option<usize> {
 }
 
 /// Per-token masks: (inside an attribute, inside `#[cfg(test)]`-gated code).
-fn structure_masks(toks: &[Token]) -> (Vec<bool>, Vec<bool>) {
+pub(crate) fn structure_masks(toks: &[Token]) -> (Vec<bool>, Vec<bool>) {
     let mut attr_mask = vec![false; toks.len()];
     let mut test_mask = vec![false; toks.len()];
     let mut i = 0;

@@ -65,7 +65,7 @@ const REDUCERS: &[&str] = &[
 ];
 
 /// Budget/cancellation handle types a pipeline stage is expected to poll.
-const BUDGET_TYPES: &[&str] = &["ArmedBudget", "DiagnosisBudget", "CancelFlag"];
+pub(crate) const BUDGET_TYPES: &[&str] = &["ArmedBudget", "DiagnosisBudget", "CancelFlag"];
 
 /// Calls too cheap to make a loop "real work" for `budget-blind-loop`:
 /// pure collection plumbing, as in the ubiquitous result-collector loops
@@ -87,7 +87,7 @@ const TRIVIAL_CALLS: &[&str] = &[
 /// control keywords heading parenthesised conditions. Capitalized
 /// identifiers (`Some(`, `Label::Cluster(`) are excluded separately —
 /// they are enum-variant patterns or tuple-struct construction, not work.
-const NON_CALL_IDENTS: &[&str] =
+pub(crate) const NON_CALL_IDENTS: &[&str] =
     &["if", "while", "for", "match", "return", "in", "let", "loop", "move", "else"];
 
 /// `std::fs` free functions that mutate the filesystem.
@@ -120,6 +120,7 @@ const BOUNDERS: &[&str] = &[
 /// Run every requested semantic rule over one file, reporting through
 /// `emit(rule, line, message)` (the same closure the token rules use, so
 /// allow-escapes and baselining apply uniformly).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn scan_semantic(
     path: &str,
     toks: &[Token],
@@ -127,6 +128,7 @@ pub(crate) fn scan_semantic(
     class: FileClass,
     test_mask: &[bool],
     rules: &[RuleKind],
+    index: Option<&crate::flow::FlowIndex>,
     emit: &mut dyn FnMut(RuleKind, u32, String),
 ) {
     let ctx = Ctx { toks, syn, test_mask };
@@ -137,7 +139,7 @@ pub(crate) fn scan_semantic(
         raw_panic_hook(&ctx, emit);
     }
     if rules.contains(&RuleKind::BudgetBlindLoop) && class == FileClass::Lib {
-        budget_blind_loop(&ctx, emit);
+        budget_blind_loop(&ctx, index, emit);
     }
     if rules.contains(&RuleKind::UnsyncedStoreWrite)
         && class == FileClass::Lib
@@ -409,7 +411,11 @@ fn raw_panic_hook(ctx: &Ctx<'_>, emit: &mut dyn FnMut(RuleKind, u32, String)) {
 
 // ----- budget-blind-loop ------------------------------------------------
 
-fn budget_blind_loop(ctx: &Ctx<'_>, emit: &mut dyn FnMut(RuleKind, u32, String)) {
+fn budget_blind_loop(
+    ctx: &Ctx<'_>,
+    index: Option<&crate::flow::FlowIndex>,
+    emit: &mut dyn FnMut(RuleKind, u32, String),
+) {
     for f in &ctx.syn.fns {
         let Some((body_open, body_close)) = f.body else { continue };
         // Handles this stage is expected to poll: budget-typed parameters
@@ -439,11 +445,27 @@ fn budget_blind_loop(ctx: &Ctx<'_>, emit: &mut dyn FnMut(RuleKind, u32, String))
             let Some(kw @ ("for" | "while" | "loop")) = ctx.ident(i) else { continue };
             let Some((lb_open, lb_close)) = loop_body(ctx, i, kw) else { continue };
             let body = lb_open + 1..lb_close.min(ctx.toks.len());
-            // A poll in the loop *header* (`while !cancel.is_set()`) counts
-            // just as much as one in the body.
+            // A *direct* poll is a method call on the handle (`budget.check(…)`,
+            // `!cancel.is_set()`) — in the loop body or its header. Merely
+            // passing the handle along as an argument no longer counts; what
+            // it is passed *to* is judged by the call-graph check below.
             let polls = (i + 1..lb_close.min(ctx.toks.len()))
-                .any(|k| ctx.ident(k).is_some_and(|n| handles.contains(&n)));
+                .any(|k| ctx.ident(k).is_some_and(|n| handles.contains(&n)) && ctx.op(k + 1, "."));
             if polls {
+                continue;
+            }
+            // Interprocedural: the loop is safe if anything it calls
+            // (transitively, via the flow index's reachability fixpoint)
+            // polls a budget handle.
+            let delegates = index.is_some_and(|idx| {
+                body.clone().any(|k| {
+                    ctx.op(k + 1, "(")
+                        && ctx.ident(k).is_some_and(|n| {
+                            !NON_CALL_IDENTS.contains(&n) && idx.polls_reachable(ctx.syn.resolve(n))
+                        })
+                })
+            });
+            if delegates {
                 continue;
             }
             let works = body.clone().any(|k| {
@@ -803,6 +825,34 @@ mod tests {
         // The poll is in the condition — outside the body braces — so the
         // body scan alone must not flag it… the condition mention counts.
         assert!(hits(polls, RuleKind::BudgetBlindLoop, FileClass::Lib).is_empty());
+    }
+
+    #[test]
+    fn budget_blind_loop_accepts_polling_through_a_callee() {
+        // The loop never touches `budget.` itself, but `helper` does: the
+        // call-graph summary marks it polling and the loop is safe.
+        let src = "fn helper(budget: &ArmedBudget) -> Result<(), E> { budget.check(\"stage\") }\n\
+                   fn stage(parts: &[P], budget: &ArmedBudget) -> Result<(), E> {\n\
+                   for p in parts {\n\
+                   helper(budget)?;\n\
+                   expensive_transform(p);\n\
+                   }\n\
+                   Ok(())\n}";
+        assert!(hits(src, RuleKind::BudgetBlindLoop, FileClass::Lib).is_empty());
+    }
+
+    #[test]
+    fn budget_blind_loop_rejects_blind_delegation() {
+        // Passing the handle to a callee that never polls it used to count
+        // as a poll under the file-wide mention heuristic; it must not.
+        let src = "fn helper(budget: &ArmedBudget) -> Result<(), E> { noop() }\n\
+                   fn stage(parts: &[P], budget: &ArmedBudget) -> Result<(), E> {\n\
+                   for p in parts {\n\
+                   helper(budget)?;\n\
+                   expensive_transform(p);\n\
+                   }\n\
+                   Ok(())\n}";
+        assert_eq!(hits(src, RuleKind::BudgetBlindLoop, FileClass::Lib), vec![3]);
     }
 
     // ----- unbounded-channel ----------------------------------------------

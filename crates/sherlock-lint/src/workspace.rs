@@ -3,7 +3,10 @@
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::rules::{check_deny_header, scan_source, FileClass, Finding, RuleKind};
+use crate::flow::{FileFlow, FlowIndex};
+use crate::lexer::lex;
+use crate::rules::{check_deny_header, scan_source_indexed, FileClass, Finding, RuleKind};
+use crate::syntax::FileSyntax;
 
 /// Directory names never scanned, wherever they appear.
 const SKIP_DIRS: &[&str] = &[
@@ -68,18 +71,48 @@ pub fn needs_deny_header(rel: &str) -> bool {
 /// Findings come back sorted by `(path, line, rule name)` — a documented,
 /// enum-order-independent total order, so output is byte-identical across
 /// runs and across refactors that reorder `RuleKind`.
+///
+/// When any flow rule is requested the scan is **two-pass**: pass 1 builds
+/// the workspace-wide [`FlowIndex`] (call graph, lock-order pairs, budget
+/// summaries) from every library file, pass 2 runs the rules with that
+/// index so interprocedural facts cross file boundaries.
 pub fn scan_workspace(config: &ScanConfig) -> io::Result<Vec<Finding>> {
     let mut files = Vec::new();
     collect_rs_files(&config.root, &config.root, &mut files)?;
     files.sort();
 
-    let mut findings = Vec::new();
+    let mut classified: Vec<(String, FileClass, String)> = Vec::new();
     for rel in &files {
         let Some(class) = classify(rel) else { continue };
         let source = std::fs::read_to_string(config.root.join(rel))?;
-        findings.extend(scan_source(rel, &source, class, &config.rules));
+        classified.push((rel.clone(), class, source));
+    }
+
+    let index = if config.rules.iter().any(|r| crate::rules::FLOW.contains(r)) {
+        let mut index = FlowIndex::default();
+        for (rel, class, source) in &classified {
+            // Test/bench/binary code never feeds the interprocedural
+            // facts — only library code can deadlock the daemon.
+            if *class != FileClass::Lib {
+                continue;
+            }
+            let lexed = lex(source);
+            let syn = FileSyntax::analyze(&lexed.tokens);
+            let (_, test_mask) = crate::rules::structure_masks(&lexed.tokens);
+            let flow = FileFlow::analyze(&lexed.tokens, &syn, &test_mask);
+            index.add_file(rel, &flow);
+        }
+        index.finalize();
+        Some(index)
+    } else {
+        None
+    };
+
+    let mut findings = Vec::new();
+    for (rel, class, source) in &classified {
+        findings.extend(scan_source_indexed(rel, source, *class, &config.rules, index.as_ref()));
         if config.rules.contains(&RuleKind::DenyHeader) && needs_deny_header(rel) {
-            findings.extend(check_deny_header(rel, &source));
+            findings.extend(check_deny_header(rel, source));
         }
     }
     findings.sort_by(|a, b| {

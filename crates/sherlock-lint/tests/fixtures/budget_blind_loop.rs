@@ -46,3 +46,29 @@ pub fn sanctioned_site(parts: &[Part], budget: &ArmedBudget) {
         expensive_transform(part);
     }
 }
+
+// Interprocedural: the loop itself never touches the handle, but the
+// callee it delegates to polls the budget — that is enough.
+pub fn polling_callee_in_reach(parts: &[Part], budget: &ArmedBudget) -> Result<(), Stop> {
+    for part in parts {
+        transform_with_budget(part, budget)?;
+    }
+    Ok(())
+}
+
+fn transform_with_budget(part: &Part, budget: &ArmedBudget) -> Result<Out, Stop> {
+    budget.check("transform")?;
+    Ok(expensive_transform(part))
+}
+
+// Merely passing the handle onward to a callee that never polls it does
+// not count (the old file-wide mention heuristic accepted this).
+pub fn passes_handle_without_polling(parts: &[Part], budget: &ArmedBudget) {
+    for part in parts { // REAL
+        log_step(part, budget);
+    }
+}
+
+fn log_step(part: &Part, budget: &ArmedBudget) {
+    note(part);
+}

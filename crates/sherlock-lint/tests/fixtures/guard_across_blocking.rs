@@ -1,0 +1,47 @@
+//! Fixture: a live `MutexGuard` spanning a blocking call pins every
+//! thread waiting on that lock behind one stalled peer.
+
+pub fn response_write_holds_guard(w: &Mutex<TcpStream>, frame: &[u8]) {
+    let mut guard = lock(w);
+    guard.write_all(frame); // REAL
+}
+
+pub fn sleep_with_guard(d: &Daemon) {
+    let queue = lock(&d.queue);
+    std::thread::sleep(POLL); // REAL
+    drop(queue);
+}
+
+// Rendering under the lock, then writing after the drop, is the pattern
+// the rule pushes toward.
+pub fn drop_before_blocking(d: &Daemon, sock: &mut TcpStream) {
+    let queue = lock(&d.queue);
+    let frame = render(&queue);
+    drop(queue);
+    sock.write_all(&frame);
+}
+
+// A guard confined to an inner scope dies at its `}`.
+pub fn inner_scope_releases(d: &Daemon, sock: &mut TcpStream) {
+    let frame = {
+        let queue = lock(&d.queue);
+        render(&queue)
+    };
+    sock.write_all(&frame);
+}
+
+// A temporary consumed by the chained call drops at the `;`, so the
+// later block happens lock-free.
+pub fn consumed_probe_is_lock_free(d: &Daemon) {
+    let depth = lock(&d.queue).len();
+    std::thread::sleep(backoff(depth));
+}
+
+// Condvar waits release the guard atomically; they are not "blocking
+// while holding".
+pub fn condvar_wait_releases_atomically(d: &Daemon) {
+    let mut queue = lock(&d.queue);
+    while queue.is_empty() {
+        queue = d.queue_cv.wait(queue);
+    }
+}

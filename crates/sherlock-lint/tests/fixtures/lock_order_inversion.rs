@@ -1,0 +1,42 @@
+//! Fixture: mutex pairs taken in opposite orders on different call paths
+//! can deadlock. The inverted path here spans two functions, so catching
+//! it requires the call-graph summary, not just per-function facts.
+
+pub fn forward(d: &Daemon) {
+    let tenants = lock(&d.tenants);
+    let queue = lock(&d.queue); // REAL
+    route(&tenants, &queue);
+}
+
+pub fn backward_outer(d: &Daemon) {
+    let queue = lock(&d.queue);
+    backward_inner(d); // REAL
+    drop(queue);
+}
+
+fn backward_inner(d: &Daemon) {
+    let tenants = lock(&d.tenants);
+    note(&tenants);
+}
+
+// A pair taken in the same order everywhere never fires.
+pub fn consistent_one(d: &Daemon) {
+    let models = lock(&d.models);
+    let stats = lock(&d.stats);
+    publish(&models, &stats);
+}
+
+pub fn consistent_two(d: &Daemon) {
+    let models = lock(&d.models);
+    let stats = lock(&d.stats);
+    publish(&models, &stats);
+}
+
+// Dropping the first lock before taking the second forms no ordering
+// pair, so this reversed sequence is fine.
+pub fn dropped_before_second(d: &Daemon) {
+    let queue = lock(&d.queue);
+    drop(queue);
+    let tenants = lock(&d.tenants);
+    note(&tenants);
+}

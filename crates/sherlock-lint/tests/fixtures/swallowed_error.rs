@@ -1,0 +1,50 @@
+//! Fixture: errors from fallible store/net/protocol writes must be
+//! counted, logged, or propagated — never silently discarded.
+
+pub fn discarded_write(w: &mut TcpStream, frame: &[u8]) {
+    let _ = w.write_all(frame); // REAL
+}
+
+pub fn ok_swallows_flush(w: &mut TcpStream) {
+    w.flush().ok(); // REAL
+}
+
+// The fallible call lives in a `.map` closure; the swallow happens
+// downstream in the same statement. The finding lands on the `.ok()`.
+pub fn swallow_in_downstream_closure(frames: &[Frame], w: &mut Writer) -> Vec<()> {
+    frames
+        .iter()
+        .map(|frame| w.write_all(frame.as_bytes()))
+        .filter_map(|r| r.ok()) // REAL
+        .collect()
+}
+
+pub fn propagates(w: &mut TcpStream, frame: &[u8]) -> io::Result<()> {
+    w.write_all(frame)?;
+    w.flush()
+}
+
+pub fn counted(w: &mut TcpStream, frame: &[u8], dropped: &AtomicU64) {
+    if w.write_all(frame).is_err() {
+        dropped.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// Shutdown paths may legitimately best-effort their final writes.
+pub fn drain_responses(w: &mut TcpStream) {
+    let _ = w.flush();
+}
+
+// `Path::join` takes an argument; only the nullary thread `join()` is a
+// swallowable fallible call.
+pub fn path_join_is_infallible(dir: &Path) -> PathBuf {
+    dir.join("model.bin")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn best_effort_in_tests_is_fine() {
+        let _ = writer().write_all(b"x");
+    }
+}

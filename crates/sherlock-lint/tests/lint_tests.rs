@@ -156,10 +156,48 @@ fn raw_panic_hook_fixture_flags_exactly_the_marked_lines() {
 fn budget_blind_loop_fixture_flags_exactly_the_marked_lines() {
     let (source, findings) = scan_fixture("budget_blind_loop.rs", FileClass::Lib);
     assert_matches_markers(&source, &findings, RuleKind::BudgetBlindLoop);
-    // The polling stage, header poll, trivial collector and allow escape
-    // are silent.
-    assert_eq!(findings.len(), 2, "{findings:#?}");
+    // The polling stage, header poll, trivial collector, allow escape and
+    // the loop delegating to a budget-polling callee are silent; the loop
+    // passing the handle to a non-polling callee is not.
+    assert_eq!(findings.len(), 3, "{findings:#?}");
     let (_, other) = scan_fixture("budget_blind_loop.rs", FileClass::Other);
+    assert!(other.is_empty(), "{other:#?}");
+}
+
+#[test]
+fn lock_order_inversion_fixture_flags_exactly_the_marked_lines() {
+    let (source, findings) = scan_fixture("lock_order_inversion.rs", FileClass::Lib);
+    assert_matches_markers(&source, &findings, RuleKind::LockOrderInversion);
+    // Consistent-order and drop-before-second pairs are silent; the
+    // interprocedural site names the callee it reaches the lock through.
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(
+        findings.iter().any(|f| f.message.contains("via call to `backward_inner`")),
+        "{findings:#?}"
+    );
+    let (_, other) = scan_fixture("lock_order_inversion.rs", FileClass::Other);
+    assert!(other.is_empty(), "{other:#?}");
+}
+
+#[test]
+fn guard_across_blocking_fixture_flags_exactly_the_marked_lines() {
+    let (source, findings) = scan_fixture("guard_across_blocking.rs", FileClass::Lib);
+    assert_matches_markers(&source, &findings, RuleKind::GuardAcrossBlocking);
+    // Drop-before-write, inner-scope, consumed-probe and condvar-wait
+    // shapes are silent.
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    let (_, other) = scan_fixture("guard_across_blocking.rs", FileClass::Other);
+    assert!(other.is_empty(), "{other:#?}");
+}
+
+#[test]
+fn swallowed_error_fixture_flags_exactly_the_marked_lines() {
+    let (source, findings) = scan_fixture("swallowed_error.rs", FileClass::Lib);
+    assert_matches_markers(&source, &findings, RuleKind::SwallowedError);
+    // `?`-propagation, counted errors, the drain path, Path::join and the
+    // test module are silent.
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+    let (_, other) = scan_fixture("swallowed_error.rs", FileClass::Other);
     assert!(other.is_empty(), "{other:#?}");
 }
 

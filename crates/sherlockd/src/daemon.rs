@@ -142,6 +142,9 @@ pub struct DaemonStats {
     pub errors: AtomicU64,
     /// Tenants quarantined after a panic.
     pub quarantined: AtomicU64,
+    /// Responses lost to a broken/stalled client writer. Shared (`Arc`)
+    /// because the per-connection sinks outlive their borrow of the daemon.
+    pub dropped_responses: Arc<AtomicU64>,
 }
 
 /// What [`Daemon::drain`] accomplished.
@@ -234,14 +237,22 @@ impl Daemon {
     /// [`drain`](Daemon::drain).
     pub fn spawn_workers(self: &Arc<Self>) -> Vec<JoinHandle<()>> {
         (0..self.cfg.workers.max(1))
-            .map(|i| {
+            .filter_map(|i| {
                 let daemon = Arc::clone(self);
-                std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name(format!("sherlockd-worker-{i}"))
                     // sherlock-lint: allow(raw-spawn): long-lived pool thread; panics inside jobs are caught per-job by try_par_map_indexed, and drain() joins every handle
-                    .spawn(move || daemon.worker_loop())
+                    .spawn(move || daemon.worker_loop());
+                match spawned {
+                    Ok(handle) => Some(handle),
+                    Err(e) => {
+                        // A short pool still drains correctly; say so loudly
+                        // instead of silently running under-provisioned.
+                        eprintln!("sherlockd: failed to spawn worker {i}: {e}");
+                        None
+                    }
+                }
             })
-            .filter_map(|h| h.ok())
             .collect()
     }
 
@@ -608,7 +619,7 @@ impl Daemon {
         format!(
             "tenants={n_tenants} quarantined={n_quarantined} rows={} evicted={} warnings={} \
              queued={queued} in_flight={} shed={} explanations={} quiet={} errors={} \
-             models={} draining={}",
+             dropped_responses={} models={} draining={}",
             self.stats.rows.load(Ordering::Relaxed),
             self.stats.evicted.load(Ordering::Relaxed),
             self.stats.warnings.load(Ordering::Relaxed),
@@ -617,6 +628,7 @@ impl Daemon {
             self.stats.explanations.load(Ordering::Relaxed),
             self.stats.quiet.load(Ordering::Relaxed),
             self.stats.errors.load(Ordering::Relaxed),
+            self.stats.dropped_responses.load(Ordering::Relaxed),
             self.n_models(),
             self.is_draining(),
         )
@@ -649,7 +661,11 @@ impl Daemon {
             std::thread::sleep(Duration::from_millis(5));
         }
         for handle in workers {
-            let _ = handle.join();
+            // Job panics are isolated per-job; a panic surfacing *here*
+            // means the worker loop itself died — worth a trace.
+            if handle.join().is_err() {
+                eprintln!("sherlockd: a worker thread panicked outside the job boundary");
+            }
         }
         let mut store_saved = None;
         let mut verify_warnings = Vec::new();

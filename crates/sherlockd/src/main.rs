@@ -206,7 +206,10 @@ fn run(scan: &ArgScan<'_>) -> Result<bool, String> {
 /// One session over stdin/stdout, polled so SIGTERM still drains promptly.
 fn serve_stdin(daemon: &Arc<Daemon>, net_cfg: &NetConfig) {
     let stdout = std::io::stdout();
-    let sink = dbsherlock_sherlockd::writer_sink(stdout);
+    let sink = dbsherlock_sherlockd::writer_sink(
+        stdout,
+        std::sync::Arc::clone(&daemon.stats.dropped_responses),
+    );
     let mut session = Session::new(sink);
     let mut reader = LineReader::new(std::io::stdin(), net_cfg.max_line_bytes);
     loop {

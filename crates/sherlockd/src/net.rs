@@ -10,7 +10,7 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -152,15 +152,26 @@ impl<R: Read> LineReader<R> {
     }
 }
 
-/// A sink writing rendered responses to a shared (mutex-guarded) writer,
-/// swallowing broken pipes: a client that hangs up mid-diagnosis must not
-/// take a worker down with it.
-pub fn writer_sink<W: Write + Send + 'static>(writer: W) -> Sink {
+/// A sink writing rendered responses to a shared (mutex-guarded) writer.
+/// A broken pipe must not take a worker down with it — but it must not
+/// vanish either: every response lost to a failed write or flush ticks
+/// `dropped` (surfaced daemon-wide as `dropped_responses` in `stats`).
+pub fn writer_sink<W: Write + Send + 'static>(writer: W, dropped: Arc<AtomicU64>) -> Sink {
     let writer = Mutex::new(writer);
     Arc::new(move |response: &Response| {
         let mut guard = writer.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-        let _ = guard.write_all(response.render().as_bytes());
-        let _ = guard.flush();
+        // The mutex serializes *whole responses* onto one stream; releasing
+        // it between write and flush would let concurrent workers interleave
+        // partial frames. The transport's write timeout bounds how long a
+        // stalled peer can pin the guard.
+        // sherlock-lint: allow(guard-across-blocking): serialization contract — the guard must span the full framed write; the write timeout bounds the stall
+        let wrote = guard.write_all(response.render().as_bytes());
+        // sherlock-lint: allow(guard-across-blocking): same framed write; flush completes the frame before the guard drops
+        let flushed = wrote.and_then(|()| guard.flush());
+        drop(guard);
+        if flushed.is_err() {
+            dropped.fetch_add(1, Ordering::Relaxed);
+        }
     })
 }
 
@@ -175,7 +186,7 @@ pub fn serve_connection(
     let _ = stream.set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))));
     let _ = stream.set_write_timeout(Some(Duration::from_millis(5_000)));
     let sink = match stream.try_clone() {
-        Ok(writer) => writer_sink(writer),
+        Ok(writer) => writer_sink(writer, Arc::clone(&daemon.stats.dropped_responses)),
         Err(_) => return 0,
     };
     let mut session = Session::new(sink);
@@ -323,7 +334,11 @@ mod tests {
                 Ok(())
             }
         }
-        let sink = writer_sink(Broken);
+        let dropped = Arc::new(AtomicU64::new(0));
+        let sink = writer_sink(Broken, Arc::clone(&dropped));
         sink(&Response::Bye); // must not panic
+        assert_eq!(dropped.load(Ordering::Relaxed), 1, "the lost response must be counted");
+        sink(&Response::Bye);
+        assert_eq!(dropped.load(Ordering::Relaxed), 2);
     }
 }
