@@ -118,7 +118,7 @@ impl PerfXplain {
             if a == b {
                 continue;
             }
-            let latencies = set.data.numeric(latency_id).ok()?;
+            let latencies = set.data.numeric(latency_id)?;
             // Canonical orientation: the slower execution first, matching
             // PerfXplain's "why is A slower than B?" query form and the
             // (suspect, normal-reference) orientation used at

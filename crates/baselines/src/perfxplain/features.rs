@@ -27,6 +27,9 @@ pub const SIMILARITY_TOLERANCE: f64 = 0.10;
 
 /// Featurize one attribute of a pair of rows.
 pub fn pair_feature(dataset: &Dataset, attr_id: usize, row_a: usize, row_b: usize) -> PairFeature {
+    // PerfXplain compares two arbitrary rows, so per-cell access is the
+    // natural shape here; this is not a DBSherlock hot path.
+    #[allow(deprecated)]
     match (dataset.value(row_a, attr_id), dataset.value(row_b, attr_id)) {
         (Value::Num(a), Value::Num(b)) => compare_numeric(a, b),
         (Value::Cat(a), Value::Cat(b)) => {

@@ -17,9 +17,60 @@ use crate::exec::{par_map_indexed, try_par_map_indexed};
 use crate::generate::GeneratedPredicate;
 use crate::label::label_partitions;
 use crate::params::SherlockParams;
-use crate::partition::PartitionSpace;
+use crate::partition::{PartitionLabel, PartitionSpace};
 use crate::predicate::Predicate;
 use crate::separation::partition_separation_power;
+
+/// Labeled partition space of one attribute, built once per ranking pass
+/// and shared by every model that references the attribute (Eq. 3 scores
+/// `M` models over `P` predicates each; without sharing, the same space
+/// is rebuilt `M·P` times against the same dataset).
+type ScoredPartition = (PartitionSpace, Vec<PartitionLabel>);
+
+/// Build the labeled partition space Eq. 3 scores a predicate against;
+/// `None` when the attribute cannot be partitioned. Shared verbatim by
+/// the per-model [`CausalModel::confidence`] path and the per-ranking
+/// cache so both are bit-identical.
+fn scored_partition(
+    dataset: &Dataset,
+    attr_id: usize,
+    abnormal: &Region,
+    normal: &Region,
+    params: &SherlockParams,
+) -> Option<ScoredPartition> {
+    let space = PartitionSpace::build(dataset, attr_id, params.n_partitions)?;
+    let labels = label_partitions(dataset, attr_id, &space, abnormal, normal);
+    Some((space, labels))
+}
+
+/// Per-attribute scoring cache for one `rank` call, indexed by attribute
+/// id; `None` slots are unpartitionable (or unreferenced) attributes.
+fn prepare_partitions(
+    dataset: &Dataset,
+    models: &[CausalModel],
+    abnormal: &Region,
+    normal: &Region,
+    params: &SherlockParams,
+    budget: Option<(&ArmedBudget, &'static str)>,
+) -> Result<Vec<Option<ScoredPartition>>, SherlockError> {
+    let mut attr_ids: Vec<usize> = models
+        .iter()
+        .flat_map(|m| &m.predicates)
+        .filter_map(|p| dataset.schema().id_of(&p.attr))
+        .collect();
+    attr_ids.sort_unstable();
+    attr_ids.dedup();
+    let mut prepared: Vec<Option<ScoredPartition>> = vec![None; dataset.schema().len()];
+    for attr_id in attr_ids {
+        if let Some((budget, stage)) = budget {
+            budget.check(stage)?;
+        }
+        if let Some(slot) = prepared.get_mut(attr_id) {
+            *slot = scored_partition(dataset, attr_id, abnormal, normal, params);
+        }
+    }
+    Ok(prepared)
+}
 
 /// A cause variable and its effect predicates.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,27 +122,65 @@ impl CausalModel {
                 let Some(attr_id) = dataset.schema().id_of(&pred.attr) else {
                     return 0.0;
                 };
-                let Some(space) = PartitionSpace::build(dataset, attr_id, params.n_partitions)
+                let Some((space, labels)) =
+                    scored_partition(dataset, attr_id, abnormal, normal, params)
                 else {
                     return 0.0;
                 };
-                let labels = label_partitions(dataset, attr_id, &space, abnormal, normal);
                 partition_separation_power(pred, &space, &labels, dataset, attr_id)
             })
             .sum();
         total / self.predicates.len() as f64
     }
 
+    /// [`confidence`](Self::confidence) against a prepared per-attribute
+    /// cache (see [`prepare_partitions`]): the ranking hot path. Same
+    /// tripwire, same arithmetic, same results — the cache entries are
+    /// built by the same [`scored_partition`] the direct path calls.
+    fn confidence_prepared(&self, dataset: &Dataset, prepared: &[Option<ScoredPartition>]) -> f64 {
+        #[cfg(any(test, feature = "chaos"))]
+        crate::chaos::scorer_tripwire(&self.cause, dataset);
+        if self.predicates.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .predicates
+            .iter()
+            .map(|pred| {
+                let Some(attr_id) = dataset.schema().id_of(&pred.attr) else {
+                    return 0.0;
+                };
+                let Some(Some((space, labels))) = prepared.get(attr_id) else {
+                    return 0.0;
+                };
+                partition_separation_power(pred, space, labels, dataset, attr_id)
+            })
+            .sum();
+        total / self.predicates.len() as f64
+    }
+
     /// Rows of `dataset` this model flags abnormal: those satisfying the
-    /// *conjunction* of all effect predicates.
+    /// *conjunction* of all effect predicates. Evaluated columnar: one
+    /// mask fill per predicate, AND-folded, instead of a per-row
+    /// conjunction of `matches_row` calls.
     pub fn predicted_region(&self, dataset: &Dataset) -> Region {
         if self.predicates.is_empty() {
             return Region::new();
         }
-        Region::from_indices(
-            (0..dataset.n_rows())
-                .filter(|&row| self.predicates.iter().all(|p| p.matches_row(dataset, row))),
-        )
+        let mut acc = vec![true; dataset.n_rows()];
+        let mut mask = Vec::new();
+        for p in &self.predicates {
+            let Some(attr_id) = dataset.schema().id_of(&p.attr) else {
+                // A predicate over an attribute the dataset lacks matches
+                // no row, so the conjunction is empty.
+                return Region::new();
+            };
+            p.fill_mask(dataset.column(attr_id), &mut mask);
+            for (slot, &m) in acc.iter_mut().zip(&mask) {
+                *slot = *slot && m;
+            }
+        }
+        Region::from_indices(acc.iter().enumerate().filter(|(_, &keep)| keep).map(|(row, _)| row))
     }
 
     /// Precision, recall, and F1 of the model's predicted abnormal rows
@@ -185,10 +274,14 @@ impl ModelRepository {
         normal: &Region,
         params: &SherlockParams,
     ) -> Vec<RankedCause> {
+        // The Err arm is unreachable without a budget; falling back to an
+        // empty cache makes every model score via zero-contribution slots.
+        let prepared = prepare_partitions(dataset, &self.models, abnormal, normal, params, None)
+            .unwrap_or_default();
         let mut ranked: Vec<RankedCause> =
             par_map_indexed(params.exec, &self.models, |_, m| RankedCause {
                 cause: m.cause.clone(),
-                confidence: m.confidence(dataset, abnormal, normal, params),
+                confidence: m.confidence_prepared(dataset, &prepared),
             });
         ranked.sort_by(|a, b| {
             b.confidence.total_cmp(&a.confidence).then_with(|| a.cause.cmp(&b.cause))
@@ -210,11 +303,19 @@ impl ModelRepository {
         params: &SherlockParams,
         budget: &ArmedBudget,
     ) -> Result<Vec<RankedCause>, SherlockError> {
+        let prepared = prepare_partitions(
+            dataset,
+            &self.models,
+            abnormal,
+            normal,
+            params,
+            Some((budget, "rank")),
+        )?;
         let slots = try_par_map_indexed(params.exec, "rank", &self.models, |_, m| {
             budget.check("rank")?;
             Ok(RankedCause {
                 cause: m.cause.clone(),
-                confidence: m.confidence(dataset, abnormal, normal, params),
+                confidence: m.confidence_prepared(dataset, &prepared),
             })
         });
         let mut ranked = Vec::with_capacity(slots.len());

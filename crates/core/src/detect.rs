@@ -56,7 +56,7 @@ fn select_attributes(
     let numeric = dataset.schema().ids_of_kind(AttributeKind::Numeric);
     let slots = try_par_map_indexed(params.exec, "detect", &numeric, |_, &attr_id| {
         budget.check("detect")?;
-        let Ok(values) = dataset.numeric(attr_id) else { return Ok(None) };
+        let Some(values) = dataset.numeric(attr_id) else { return Ok(None) };
         let normalized = stats::normalize_slice(values);
         let pp = potential_power(&normalized, params.tau);
         Ok((pp > params.pp_t).then_some((attr_id, normalized)))

@@ -21,7 +21,7 @@ use crate::detect::{try_detect_anomaly, Detection};
 use crate::domain::DomainKnowledge;
 use crate::error::SherlockError;
 use crate::exec::{try_par_map_indexed, ExecPolicy};
-use crate::generate::{try_generate_predicates, GeneratedPredicate};
+use crate::generate::{try_generate_predicates_snapshot, GeneratedPredicate};
 use crate::params::SherlockParams;
 use crate::predicate::display_conjunction;
 
@@ -202,10 +202,51 @@ impl Sherlock {
             return Err(SherlockError::EmptyRegion { what: "normal", n_rows });
         }
         let normal = &normal;
-        let raw = try_generate_predicates(dataset, abnormal, normal, params, budget)?;
+        // One columnar snapshot pins every attribute-contiguous slice for
+        // the whole pass; kernels below never pay per-cell dispatch.
+        let snapshot = dataset.snapshot();
+        let raw = try_generate_predicates_snapshot(&snapshot, abnormal, normal, params, budget)?;
         let predicates = self.domain.prune(dataset, raw, params);
         let all_causes = self.repository.try_rank(dataset, abnormal, normal, params, budget)?;
         let causes = all_causes.iter().filter(|c| c.confidence >= params.lambda).cloned().collect();
+        Ok(Explanation { predicates, causes, all_causes })
+    }
+
+    /// [`try_explain`](Self::try_explain) through the row-wise reference
+    /// kernels of [`scalar`](crate::scalar): same degenerate-input checks,
+    /// same domain pruning and λ filter, but per-cell `value()` access and
+    /// no budget or parallelism. Required to be bit-identical to the
+    /// columnar path on every input — the determinism proptests and the
+    /// `columnar_scaling` benchmark diff the two.
+    #[cfg(any(test, feature = "scalar-shim"))]
+    pub fn explain_scalar(
+        &self,
+        dataset: &Dataset,
+        abnormal: &Region,
+        normal: Option<&Region>,
+    ) -> Result<Explanation, SherlockError> {
+        if dataset.n_rows() == 0 {
+            return Err(SherlockError::EmptyInput("dataset"));
+        }
+        let n_rows = dataset.n_rows();
+        let abnormal = &abnormal.clip(n_rows);
+        if abnormal.is_empty() {
+            return Err(SherlockError::EmptyRegion { what: "abnormal", n_rows });
+        }
+        let normal = match normal {
+            Some(region) => region.clip(n_rows),
+            None => abnormal.complement(n_rows),
+        };
+        if normal.is_empty() {
+            return Err(SherlockError::EmptyRegion { what: "normal", n_rows });
+        }
+        let normal = &normal;
+        let raw = crate::scalar::generate_predicates(dataset, abnormal, normal, &self.params);
+        let predicates = self.domain.prune(dataset, raw, &self.params);
+        let all_causes =
+            crate::scalar::rank(&self.repository, dataset, abnormal, normal, &self.params);
+        let causes =
+            all_causes.iter().filter(|c| c.confidence >= self.params.lambda).cloned().collect();
         Ok(Explanation { predicates, causes, all_causes })
     }
 

@@ -161,7 +161,7 @@ fn discretize(dataset: &Dataset, attr: &str, gamma: usize) -> Option<Discretized
     let attr_id = dataset.schema().id_of(attr)?;
     match dataset.schema().attr(attr_id).kind {
         AttributeKind::Numeric => {
-            let values = dataset.numeric(attr_id).ok()?;
+            let values = dataset.numeric(attr_id)?;
             let (min, max) = dataset.numeric_range(attr_id).ok()?;
             let bins = gamma.max(1);
             let codes = values

@@ -11,7 +11,7 @@
 //! to an `Attr ∈ {...}` predicate (directly after labeling; no filtering
 //! or gap-filling).
 
-use dbsherlock_telemetry::{stats, Dataset, Region};
+use dbsherlock_telemetry::{stats, Dataset, Dictionary, Region};
 
 use crate::partition::{PartitionLabel, PartitionSpace};
 use crate::predicate::Predicate;
@@ -47,23 +47,41 @@ pub fn normalized_mean_difference(
     abnormal: &Region,
     normal: &Region,
 ) -> Option<f64> {
-    let values = dataset.numeric(attr_id).ok()?;
-    let (min, max) = dataset.numeric_range(attr_id).ok()?;
-    let collect = |region: &Region| -> Vec<f64> {
-        region
-            .indices()
-            .iter()
-            .map(|&r| values[r])
-            .filter(|v| v.is_finite())
-            .map(|v| stats::normalize(v, min, max))
-            .collect()
+    let values = dataset.numeric(attr_id)?;
+    let range = dataset.numeric_range(attr_id).ok()?;
+    normalized_mean_difference_view(values, range, abnormal, normal)
+}
+
+/// Columnar [`normalized_mean_difference`] kernel: a fused
+/// normalize-and-sum scan per region over the attribute-contiguous slice
+/// (no intermediate buffers), with `range` supplied by the caller — the
+/// snapshot's memoized `(min, max)` on the hot path. Summation order is
+/// the region's index order, matching the buffered form bit for bit.
+pub fn normalized_mean_difference_view(
+    values: &[f64],
+    (min, max): (f64, f64),
+    abnormal: &Region,
+    normal: &Region,
+) -> Option<f64> {
+    let mean_of = |region: &Region| -> Option<f64> {
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for &r in region.indices() {
+            let Some(&v) = values.get(r) else { continue };
+            if v.is_finite() {
+                sum += stats::normalize(v, min, max);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(sum / count as f64)
+        }
     };
-    let a = collect(abnormal);
-    let n = collect(normal);
-    if a.is_empty() || n.is_empty() {
-        return None;
-    }
-    Some((stats::mean(&a) - stats::mean(&n)).abs())
+    let a = mean_of(abnormal)?;
+    let n = mean_of(normal)?;
+    Some((a - n).abs())
 }
 
 /// Extract the numeric candidate predicate for the given filled labels, or
@@ -98,6 +116,16 @@ pub fn extract_categorical(
     labels: &[PartitionLabel],
 ) -> Option<Predicate> {
     let (_, dict) = dataset.categorical(attr_id).ok()?;
+    extract_categorical_view(attr_name, dict, labels)
+}
+
+/// [`extract_categorical`] against an already-resolved dictionary (the
+/// snapshot path).
+pub fn extract_categorical_view(
+    attr_name: &str,
+    dict: &Dictionary,
+    labels: &[PartitionLabel],
+) -> Option<Predicate> {
     let abnormal_labels: Vec<String> = labels
         .iter()
         .enumerate()

@@ -29,6 +29,19 @@ pub fn fill_gaps(
     space: &PartitionSpace,
     normal: &Region,
 ) -> Vec<PartitionLabel> {
+    fill_gaps_view(labels, delta, dataset.numeric(attr_id).unwrap_or(&[]), space, normal)
+}
+
+/// [`fill_gaps`] over an already-resolved numeric slice (the snapshot
+/// path). An empty slice disables the all-Abnormal anchoring, matching
+/// the kind-mismatch behaviour of the dataset form.
+pub fn fill_gaps_view(
+    labels: &[PartitionLabel],
+    delta: f64,
+    values: &[f64],
+    space: &PartitionSpace,
+    normal: &Region,
+) -> Vec<PartitionLabel> {
     let mut labels = labels.to_vec();
     let has_normal = labels.contains(&PartitionLabel::Normal);
     let has_abnormal = labels.contains(&PartitionLabel::Abnormal);
@@ -38,7 +51,7 @@ pub fn fill_gaps(
         return labels;
     }
     if !has_normal {
-        anchor_normal_average(&mut labels, dataset, attr_id, space, normal);
+        anchor_normal_average(&mut labels, values, space, normal);
     }
     fill(&labels, delta)
 }
@@ -47,14 +60,10 @@ pub fn fill_gaps(
 /// regardless of its previous label (§4.4).
 fn anchor_normal_average(
     labels: &mut [PartitionLabel],
-    dataset: &Dataset,
-    attr_id: usize,
+    values: &[f64],
     space: &PartitionSpace,
     normal: &Region,
 ) {
-    let Ok(values) = dataset.numeric(attr_id) else {
-        return;
-    };
     // `normal` may outlive the rows it was defined over (lossy repair
     // shrinks datasets), and surviving cells may be NaN: index defensively
     // and keep only finite values.
@@ -68,8 +77,8 @@ fn anchor_normal_average(
         return;
     }
     let avg = stats::mean(&normal_values);
-    if let Some(j) = space.index_of_num(avg) {
-        labels[j] = PartitionLabel::Normal;
+    if let Some(slot) = space.index_of_num(avg).and_then(|j| labels.get_mut(j)) {
+        *slot = PartitionLabel::Normal;
     }
 }
 

@@ -1,0 +1,76 @@
+//! Shared test-dataset builders.
+//!
+//! The per-module test helpers used to `unwrap()` every `push_row`, which
+//! on a malformed fixture reported only `called unwrap on an Err value` —
+//! no row, no attribute, no underlying error. These builders surface the
+//! telemetry error with row context instead. Test-only; never compiled
+//! into the library.
+
+// The lib.rs `#[cfg(test)]` gate already keeps this out of shipped code;
+// the inner attribute repeats it where file-scoped tooling can see it.
+#![cfg(test)]
+
+use dbsherlock_telemetry::{AttributeMeta, Dataset, Schema, Value};
+
+/// Build a dataset over `attrs` with `n_rows` rows, one `fill(dataset, i)`
+/// call per row (the dataset is handed in mutably so categorical fixtures
+/// can intern labels). Schema and row errors panic with their cause and
+/// position rather than a bare unwrap.
+pub(crate) fn build_dataset(
+    attrs: impl IntoIterator<Item = AttributeMeta>,
+    n_rows: usize,
+    mut fill: impl FnMut(&mut Dataset, usize) -> Vec<Value>,
+) -> Dataset {
+    let schema = match Schema::from_attrs(attrs) {
+        Ok(schema) => schema,
+        Err(e) => panic!("fixture schema rejected: {e}"),
+    };
+    let mut d = Dataset::new(schema);
+    for i in 0..n_rows {
+        let values = fill(&mut d, i);
+        if let Err(e) = d.push_row(i as f64, &values) {
+            panic!("fixture row {i} rejected ({values:?}): {e}");
+        }
+    }
+    d
+}
+
+/// Single numeric attribute `x` holding `values`, one row per value.
+pub(crate) fn numeric_dataset(values: &[f64]) -> Dataset {
+    build_dataset([AttributeMeta::numeric("x")], values.len(), |_, i| vec![Value::Num(values[i])])
+}
+
+/// Single categorical attribute `c` holding `labels`, one row per label.
+pub(crate) fn categorical_dataset(labels: &[&str]) -> Dataset {
+    build_dataset([AttributeMeta::categorical("c")], labels.len(), |d, i| {
+        match d.intern(0, labels[i]) {
+            Ok(v) => vec![v],
+            Err(e) => panic!("fixture intern of {:?} at row {i} rejected: {e}", labels[i]),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_round_trip() {
+        let d = numeric_dataset(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.n_rows(), 3);
+        assert_eq!(d.numeric(0), Some(&[1.0, 2.0, 3.0][..]));
+        let c = categorical_dataset(&["a", "b", "a"]);
+        assert_eq!(c.n_rows(), 3);
+        let (ids, dict) = c.categorical(0).unwrap();
+        assert_eq!(ids, &[0, 1, 0]);
+        assert_eq!(dict.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected")]
+    fn arity_mismatch_panics_with_context() {
+        build_dataset([AttributeMeta::numeric("x")], 1, |_, _| {
+            vec![Value::Num(1.0), Value::Num(2.0)]
+        });
+    }
+}

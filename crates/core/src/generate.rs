@@ -6,19 +6,19 @@
 //! `|µ_A − µ_N| > θ` conditions hold. Categorical attributes skip the
 //! filtering/filling steps and extract straight after labeling.
 
-use dbsherlock_telemetry::{AttributeKind, AttributeMeta, Dataset, Region};
+use dbsherlock_telemetry::{AttributeKind, AttributeMeta, ColumnarSnapshot, Dataset, Region};
 
 use crate::budget::ArmedBudget;
 use crate::error::SherlockError;
 use crate::exec::{par_map_indexed, try_par_map_indexed};
-use crate::extract::{extract_categorical, extract_numeric, normalized_mean_difference};
-use crate::fill::fill_gaps;
+use crate::extract::{extract_categorical_view, extract_numeric, normalized_mean_difference_view};
+use crate::fill::fill_gaps_view;
 use crate::filter::filter_partitions;
-use crate::label::label_partitions;
+use crate::label::label_partitions_view;
 use crate::params::SherlockParams;
 use crate::partition::PartitionSpace;
 use crate::predicate::Predicate;
-use crate::separation::separation_power;
+use crate::separation::separation_power_view;
 
 /// A generated predicate plus the statistics the algorithm computed for it.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,19 +61,33 @@ pub fn generate_predicates_ablated(
     params: &SherlockParams,
     ablation: AblationFlags,
 ) -> Vec<GeneratedPredicate> {
+    generate_predicates_snapshot(&dataset.snapshot(), abnormal, normal, params, ablation)
+}
+
+/// [`generate_predicates_ablated`] over a pinned [`ColumnarSnapshot`]:
+/// the columnar entry point. Callers running several stages against the
+/// same dataset (e.g. `Sherlock::explain_*`) build one snapshot per case
+/// so every kernel shares the memoized range cache.
+pub fn generate_predicates_snapshot(
+    snapshot: &ColumnarSnapshot<'_>,
+    abnormal: &Region,
+    normal: &Region,
+    params: &SherlockParams,
+    ablation: AblationFlags,
+) -> Vec<GeneratedPredicate> {
     // Regions may have been defined over a healthier version of the data:
     // lossy ingestion drops rows, so clip before any column indexing.
-    let abnormal = &abnormal.clip(dataset.n_rows());
-    let normal = &normal.clip(dataset.n_rows());
+    let abnormal = &abnormal.clip(snapshot.n_rows());
+    let normal = &normal.clip(snapshot.n_rows());
     if abnormal.is_empty() || normal.is_empty() {
         return Vec::new();
     }
     // Each attribute is an independent run of Algorithm 1, so the schema
     // fans out across the thread budget; collecting by index keeps the
     // output in schema order, identical to the serial loop.
-    let attrs: Vec<(usize, &AttributeMeta)> = dataset.schema().iter().collect();
+    let attrs: Vec<(usize, &AttributeMeta)> = snapshot.schema().iter().collect();
     par_map_indexed(params.exec, &attrs, |_, &(attr_id, attr)| {
-        extract_for_attribute(dataset, attr_id, attr, abnormal, normal, params, ablation)
+        extract_for_attribute(snapshot, attr_id, attr, abnormal, normal, params, ablation)
     })
     .into_iter()
     .flatten()
@@ -93,16 +107,27 @@ pub fn try_generate_predicates(
     params: &SherlockParams,
     budget: &ArmedBudget,
 ) -> Result<Vec<GeneratedPredicate>, SherlockError> {
-    let abnormal = &abnormal.clip(dataset.n_rows());
-    let normal = &normal.clip(dataset.n_rows());
+    try_generate_predicates_snapshot(&dataset.snapshot(), abnormal, normal, params, budget)
+}
+
+/// [`try_generate_predicates`] over a pinned [`ColumnarSnapshot`].
+pub fn try_generate_predicates_snapshot(
+    snapshot: &ColumnarSnapshot<'_>,
+    abnormal: &Region,
+    normal: &Region,
+    params: &SherlockParams,
+    budget: &ArmedBudget,
+) -> Result<Vec<GeneratedPredicate>, SherlockError> {
+    let abnormal = &abnormal.clip(snapshot.n_rows());
+    let normal = &normal.clip(snapshot.n_rows());
     if abnormal.is_empty() || normal.is_empty() {
         return Ok(Vec::new());
     }
-    let attrs: Vec<(usize, &AttributeMeta)> = dataset.schema().iter().collect();
+    let attrs: Vec<(usize, &AttributeMeta)> = snapshot.schema().iter().collect();
     let per_attr = try_par_map_indexed(params.exec, "generate", &attrs, |_, &(attr_id, attr)| {
         budget.check("generate")?;
         Ok(extract_for_attribute(
-            dataset,
+            snapshot,
             attr_id,
             attr,
             abnormal,
@@ -122,8 +147,10 @@ pub fn try_generate_predicates(
 
 /// Algorithm 1 for a single attribute: partition, label, (numeric) filter and
 /// fill, then extract — the unit of work the parallel executor maps over.
+/// All inputs come from the snapshot: one column view, one memoized range,
+/// zero per-cell accesses.
 fn extract_for_attribute(
-    dataset: &Dataset,
+    snapshot: &ColumnarSnapshot<'_>,
     attr_id: usize,
     attr: &AttributeMeta,
     abnormal: &Region,
@@ -131,23 +158,36 @@ fn extract_for_attribute(
     params: &SherlockParams,
     ablation: AblationFlags,
 ) -> Option<GeneratedPredicate> {
-    let space = PartitionSpace::build(dataset, attr_id, params.n_partitions)?;
-    let labels = label_partitions(dataset, attr_id, &space, abnormal, normal);
+    let view = snapshot.column(attr_id);
+    let space = match attr.kind {
+        AttributeKind::Numeric => PartitionSpace::from_numeric_range(
+            snapshot.numeric_range(attr_id),
+            params.n_partitions,
+        )?,
+        AttributeKind::Categorical => PartitionSpace::from_dictionary(view.categorical()?.1)?,
+    };
+    let labels = label_partitions_view(view, &space, abnormal, normal);
     match attr.kind {
         AttributeKind::Numeric => {
+            let values = view.numeric()?;
             let filtered =
                 if ablation.skip_filtering { labels } else { filter_partitions(&labels) };
             let filled = if ablation.skip_filling {
                 filtered
             } else {
-                fill_gaps(&filtered, params.delta, dataset, attr_id, &space, normal)
+                fill_gaps_view(&filtered, params.delta, values, &space, normal)
             };
-            let d = normalized_mean_difference(dataset, attr_id, abnormal, normal)?;
+            let d = normalized_mean_difference_view(
+                values,
+                snapshot.numeric_range(attr_id)?,
+                abnormal,
+                normal,
+            )?;
             if d <= params.theta {
                 return None;
             }
             let predicate = extract_numeric(&attr.name, &space, &filled)?;
-            let sp = separation_power(&predicate, dataset, abnormal, normal);
+            let sp = separation_power_view(&predicate, view, abnormal, normal);
             (sp >= params.min_separation_power).then_some(GeneratedPredicate {
                 predicate,
                 separation_power: sp,
@@ -155,8 +195,8 @@ fn extract_for_attribute(
             })
         }
         AttributeKind::Categorical => {
-            let predicate = extract_categorical(&attr.name, dataset, attr_id, &labels)?;
-            let sp = separation_power(&predicate, dataset, abnormal, normal);
+            let predicate = extract_categorical_view(&attr.name, view.categorical()?.1, &labels)?;
+            let sp = separation_power_view(&predicate, view, abnormal, normal);
             (sp >= params.min_separation_power).then_some(GeneratedPredicate {
                 predicate,
                 separation_power: sp,
@@ -170,26 +210,26 @@ fn extract_for_attribute(
 mod tests {
     use super::*;
     use crate::predicate::PredicateOp;
-    use dbsherlock_telemetry::{AttributeMeta, Schema, Value};
+    use dbsherlock_telemetry::{AttributeMeta, Value};
 
     /// Two numeric attributes: `signal` jumps from ~10 to ~90 in the
     /// abnormal region, `noise` is unrelated; one categorical attribute
     /// flips to "bad" while abnormal.
     fn dataset() -> (Dataset, Region, Region) {
-        let schema = Schema::from_attrs([
+        let attrs = [
             AttributeMeta::numeric("signal"),
             AttributeMeta::numeric("noise"),
             AttributeMeta::categorical("state"),
-        ])
-        .unwrap();
-        let mut d = Dataset::new(schema);
-        for i in 0..60 {
+        ];
+        let d = crate::fixtures::build_dataset(attrs, 60, |d, i| {
             let abnormal = (40..50).contains(&i);
             let signal = if abnormal { 90.0 + (i % 5) as f64 } else { 10.0 + (i % 7) as f64 };
             let noise = (i % 13) as f64;
-            let state = d.intern(2, if abnormal { "bad" } else { "ok" }).unwrap();
-            d.push_row(i as f64, &[Value::Num(signal), Value::Num(noise), state]).unwrap();
-        }
+            let state = d
+                .intern(2, if abnormal { "bad" } else { "ok" })
+                .unwrap_or_else(|e| panic!("fixture intern at row {i} rejected: {e}"));
+            vec![Value::Num(signal), Value::Num(noise), state]
+        });
         let abnormal = Region::from_range(40..50);
         let normal = abnormal.complement(60);
         (d, abnormal, normal)

@@ -7,7 +7,7 @@
 //! *majority* rule on the abnormal/normal counts. Tuples outside both
 //! regions are ignored entirely (§4).
 
-use dbsherlock_telemetry::{Dataset, Region};
+use dbsherlock_telemetry::{ColumnView, Dataset, Region};
 
 use crate::partition::{PartitionLabel, PartitionSpace};
 
@@ -20,36 +20,56 @@ pub fn label_partitions(
     abnormal: &Region,
     normal: &Region,
 ) -> Vec<PartitionLabel> {
-    match space {
-        PartitionSpace::Numeric { .. } => label_numeric(dataset, attr_id, space, abnormal, normal),
-        PartitionSpace::Categorical { .. } => {
-            label_categorical(dataset, attr_id, space, abnormal, normal)
-        }
-    }
+    label_partitions_view(dataset.column(attr_id), space, abnormal, normal)
 }
 
-fn label_numeric(
-    dataset: &Dataset,
-    attr_id: usize,
+/// Columnar labeling kernel: two count passes over the region indices of
+/// one attribute-contiguous column, then one purity/majority fold over
+/// the hit counts. Kind mismatches between `view` and `space` yield all-
+/// `Empty` labels rather than a panic; upstream generation never produces
+/// one.
+pub fn label_partitions_view(
+    view: ColumnView<'_>,
     space: &PartitionSpace,
     abnormal: &Region,
     normal: &Region,
 ) -> Vec<PartitionLabel> {
-    // Type mismatch between space and attribute yields no labels rather
-    // than a panic; upstream generation never produces one.
-    let Ok(values) = dataset.numeric(attr_id) else {
+    match (space, view) {
+        (PartitionSpace::Numeric { .. }, ColumnView::Numeric(v)) => {
+            label_numeric(v.as_slice(), space, abnormal, normal)
+        }
+        (PartitionSpace::Categorical { .. }, ColumnView::Categorical(c)) => {
+            label_categorical(c.ids, space, abnormal, normal)
+        }
+        _ => vec![PartitionLabel::Empty; space.len()],
+    }
+}
+
+fn label_numeric(
+    values: &[f64],
+    space: &PartitionSpace,
+    abnormal: &Region,
+    normal: &Region,
+) -> Vec<PartitionLabel> {
+    let Some(binner) = space.numeric_binner() else {
         return vec![PartitionLabel::Empty; space.len()];
     };
     let mut abnormal_hits = vec![0usize; space.len()];
     let mut normal_hits = vec![0usize; space.len()];
+    // Rows outside the column (possible only on malformed regions) are
+    // skipped, like non-finite values.
     for &row in abnormal.indices() {
-        if let Some(j) = space.index_of_num(values[row]) {
-            abnormal_hits[j] += 1;
+        if let Some(j) = values.get(row).copied().and_then(|v| binner.bin(v)) {
+            if let Some(hits) = abnormal_hits.get_mut(j) {
+                *hits += 1;
+            }
         }
     }
     for &row in normal.indices() {
-        if let Some(j) = space.index_of_num(values[row]) {
-            normal_hits[j] += 1;
+        if let Some(j) = values.get(row).copied().and_then(|v| binner.bin(v)) {
+            if let Some(hits) = normal_hits.get_mut(j) {
+                *hits += 1;
+            }
         }
     }
     abnormal_hits
@@ -66,28 +86,21 @@ fn label_numeric(
 }
 
 fn label_categorical(
-    dataset: &Dataset,
-    attr_id: usize,
+    ids: &[u32],
     space: &PartitionSpace,
     abnormal: &Region,
     normal: &Region,
 ) -> Vec<PartitionLabel> {
-    // Same graceful policy as `label_numeric` above.
-    let Ok((ids, _)) = dataset.categorical(attr_id) else {
-        return vec![PartitionLabel::Empty; space.len()];
-    };
     let mut abnormal_hits = vec![0usize; space.len()];
     let mut normal_hits = vec![0usize; space.len()];
     for &row in abnormal.indices() {
-        let j = ids[row] as usize;
-        if j < abnormal_hits.len() {
-            abnormal_hits[j] += 1;
+        if let Some(hits) = ids.get(row).and_then(|&id| abnormal_hits.get_mut(id as usize)) {
+            *hits += 1;
         }
     }
     for &row in normal.indices() {
-        let j = ids[row] as usize;
-        if j < normal_hits.len() {
-            normal_hits[j] += 1;
+        if let Some(hits) = ids.get(row).and_then(|&id| normal_hits.get_mut(id as usize)) {
+            *hits += 1;
         }
     }
     abnormal_hits
@@ -108,16 +121,7 @@ fn label_categorical(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbsherlock_telemetry::{AttributeMeta, Schema, Value};
-
-    fn numeric_dataset(values: &[f64]) -> Dataset {
-        let schema = Schema::from_attrs([AttributeMeta::numeric("x")]).unwrap();
-        let mut d = Dataset::new(schema);
-        for (i, &v) in values.iter().enumerate() {
-            d.push_row(i as f64, &[Value::Num(v)]).unwrap();
-        }
-        d
-    }
+    use crate::fixtures::{categorical_dataset, numeric_dataset};
 
     #[test]
     fn numeric_purity_rule() {
@@ -168,16 +172,6 @@ mod tests {
                 PartitionLabel::Abnormal
             ]
         );
-    }
-
-    fn categorical_dataset(labels: &[&str]) -> Dataset {
-        let schema = Schema::from_attrs([AttributeMeta::categorical("c")]).unwrap();
-        let mut d = Dataset::new(schema);
-        for (i, l) in labels.iter().enumerate() {
-            let v = d.intern(0, l).unwrap();
-            d.push_row(i as f64, &[v]).unwrap();
-        }
-        d
     }
 
     #[test]

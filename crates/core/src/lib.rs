@@ -59,12 +59,16 @@ pub mod exec;
 pub mod extract;
 pub mod fill;
 pub mod filter;
+#[cfg(test)]
+pub(crate) mod fixtures;
 pub mod generate;
 pub mod label;
 pub mod merge;
 pub mod params;
 pub mod partition;
 pub mod predicate;
+#[cfg(any(test, feature = "scalar-shim"))]
+pub mod scalar;
 pub mod separation;
 pub mod store;
 
@@ -78,8 +82,8 @@ pub use domain::{independence_factor, DomainKnowledge, Rule};
 pub use error::SherlockError;
 pub use exec::{par_map_indexed, try_par_map_indexed, ExecPolicy};
 pub use generate::{
-    generate_predicates, generate_predicates_ablated, try_generate_predicates, AblationFlags,
-    GeneratedPredicate,
+    generate_predicates, generate_predicates_ablated, generate_predicates_snapshot,
+    try_generate_predicates, try_generate_predicates_snapshot, AblationFlags, GeneratedPredicate,
 };
 pub use merge::{merge_all, merge_models, merge_predicates};
 pub use params::{SherlockParams, SherlockParamsBuilder};
@@ -103,4 +107,5 @@ pub mod prelude {
     pub use crate::generate::GeneratedPredicate;
     pub use crate::store::ModelStore;
     pub use crate::{RankedCause, SherlockParams, SherlockParamsBuilder};
+    pub use dbsherlock_telemetry::{CategoricalView, ColumnView, ColumnarSnapshot, NumericView};
 }

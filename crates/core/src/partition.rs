@@ -6,7 +6,7 @@
 //! the maximum isn't orphaned). For a categorical attribute there is one
 //! partition per distinct value and order is irrelevant.
 
-use dbsherlock_telemetry::{AttributeKind, Dataset};
+use dbsherlock_telemetry::{AttributeKind, Dataset, Dictionary};
 
 /// Label of one partition (paper §4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,20 +49,34 @@ impl PartitionSpace {
     pub fn build(dataset: &Dataset, attr_id: usize, r: usize) -> Option<PartitionSpace> {
         match dataset.schema().attr(attr_id).kind {
             AttributeKind::Numeric => {
-                let (min, max) = dataset.numeric_range(attr_id).ok()?;
-                if max <= min || !(max - min).is_finite() {
-                    return None;
-                }
-                Some(PartitionSpace::Numeric { min, max, r: r.max(1) })
+                Self::from_numeric_range(dataset.numeric_range(attr_id).ok(), r)
             }
             AttributeKind::Categorical => {
                 let (_, dict) = dataset.categorical(attr_id).ok()?;
-                if dict.is_empty() {
-                    return None;
-                }
-                Some(PartitionSpace::Categorical { n: dict.len() })
+                Self::from_dictionary(dict)
             }
         }
+    }
+
+    /// Numeric space from a precomputed `(min, max)` range — e.g. the
+    /// memoized `ColumnarSnapshot` cache — with the same degeneracy policy
+    /// as [`build`](Self::build): `None` for a missing range, a constant
+    /// attribute, or a non-finite width.
+    pub fn from_numeric_range(range: Option<(f64, f64)>, r: usize) -> Option<PartitionSpace> {
+        let (min, max) = range?;
+        if max <= min || !(max - min).is_finite() {
+            return None;
+        }
+        Some(PartitionSpace::Numeric { min, max, r: r.max(1) })
+    }
+
+    /// Categorical space from a column dictionary: one partition per
+    /// distinct category; `None` for an empty dictionary.
+    pub fn from_dictionary(dict: &Dictionary) -> Option<PartitionSpace> {
+        if dict.is_empty() {
+            return None;
+        }
+        Some(PartitionSpace::Categorical { n: dict.len() })
     }
 
     /// Number of partitions.
@@ -91,14 +105,15 @@ impl PartitionSpace {
     /// (they can only appear when a predicate learned elsewhere is
     /// evaluated against this space).
     pub fn index_of_num(&self, v: f64) -> Option<usize> {
+        self.numeric_binner()?.bin(v)
+    }
+
+    /// Monomorphic binner for numeric spaces: resolves the enum dispatch
+    /// once so per-row loops in the columnar kernels bin values without
+    /// re-matching on the space. `None` for categorical spaces.
+    pub fn numeric_binner(&self) -> Option<NumericBinner> {
         match *self {
-            PartitionSpace::Numeric { min, max, r } => {
-                if !v.is_finite() {
-                    return None;
-                }
-                let idx = ((v - min) / (max - min) * r as f64).floor() as isize;
-                Some(idx.clamp(0, r as isize - 1) as usize)
-            }
+            PartitionSpace::Numeric { min, max, r } => Some(NumericBinner { min, max, r }),
             PartitionSpace::Categorical { .. } => None,
         }
     }
@@ -127,19 +142,34 @@ impl PartitionSpace {
     }
 }
 
+/// Dispatch-free partition binning for one numeric space (see
+/// [`PartitionSpace::numeric_binner`]). The floor/clamp expression is
+/// shared with [`PartitionSpace::index_of_num`] and is part of the
+/// pipeline's bit-identity contract.
+#[derive(Debug, Clone, Copy)]
+pub struct NumericBinner {
+    min: f64,
+    max: f64,
+    r: usize,
+}
+
+impl NumericBinner {
+    /// Partition index of `v`; `None` for non-finite values, clamped to
+    /// the edge partitions outside `[min, max]`.
+    #[inline]
+    pub fn bin(&self, v: f64) -> Option<usize> {
+        if !v.is_finite() {
+            return None;
+        }
+        let idx = ((v - self.min) / (self.max - self.min) * self.r as f64).floor() as isize;
+        Some(idx.clamp(0, self.r as isize - 1) as usize)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbsherlock_telemetry::{AttributeMeta, Schema, Value};
-
-    fn dataset(values: &[f64]) -> Dataset {
-        let schema = Schema::from_attrs([AttributeMeta::numeric("x")]).unwrap();
-        let mut d = Dataset::new(schema);
-        for (i, &v) in values.iter().enumerate() {
-            d.push_row(i as f64, &[Value::Num(v)]).unwrap();
-        }
-        d
-    }
+    use crate::fixtures::numeric_dataset as dataset;
 
     #[test]
     fn numeric_space_covers_domain() {
@@ -180,12 +210,7 @@ mod tests {
 
     #[test]
     fn categorical_space_one_per_value() {
-        let schema = Schema::from_attrs([AttributeMeta::categorical("c")]).unwrap();
-        let mut d = Dataset::new(schema);
-        let a = d.intern(0, "a").unwrap();
-        let b = d.intern(0, "b").unwrap();
-        d.push_row(0.0, &[a]).unwrap();
-        d.push_row(1.0, &[b]).unwrap();
+        let d = crate::fixtures::categorical_dataset(&["a", "b"]);
         let s = PartitionSpace::build(&d, 0, 99).unwrap();
         assert_eq!(s.len(), 2);
         assert_eq!(s.width(), None);

@@ -12,7 +12,7 @@
 
 use std::fmt;
 
-use dbsherlock_telemetry::{Dataset, Value};
+use dbsherlock_telemetry::{ColumnView, Dataset, Dictionary};
 use serde::{Deserialize, Serialize};
 
 /// The comparison a predicate applies to its attribute.
@@ -51,6 +51,15 @@ impl PredicateOp {
     pub fn is_numeric(&self) -> bool {
         !matches!(self, PredicateOp::InSet(_))
     }
+
+    /// Per-dictionary-id satisfaction table: one label comparison per
+    /// *distinct* category instead of one per row, so categorical masks
+    /// and selectivities reduce to an id-indexed table lookup.
+    pub fn category_table(&self, dict: &Dictionary) -> Vec<bool> {
+        (0..dict.len() as u32)
+            .map(|id| dict.label(id).map(|l| self.matches_label(l)).unwrap_or(false))
+            .collect()
+    }
 }
 
 /// One simple predicate over a named attribute.
@@ -83,31 +92,110 @@ impl Predicate {
         Predicate { attr: attr.into(), op: PredicateOp::InSet(labels.into_iter().collect()) }
     }
 
-    /// Evaluate against row `row` of `dataset`. Unknown attributes and
-    /// kind mismatches evaluate to `false` (a predicate about an attribute
-    /// a dataset lacks cannot support an anomaly there).
+    /// Evaluate against row `row` of `dataset`. Unknown attributes, kind
+    /// mismatches, and out-of-range rows evaluate to `false` (a predicate
+    /// about an attribute a dataset lacks cannot support an anomaly
+    /// there). Prefer [`fill_mask`](Self::fill_mask) /
+    /// [`selectivity`](Self::selectivity) when evaluating more than a
+    /// handful of rows: they resolve the attribute once per column.
     pub fn matches_row(&self, dataset: &Dataset, row: usize) -> bool {
         let Some(attr_id) = dataset.schema().id_of(&self.attr) else {
             return false;
         };
-        match dataset.value(row, attr_id) {
-            Value::Num(v) => self.op.matches_num(v),
-            Value::Cat(id) => {
-                let Ok((_, dict)) = dataset.categorical(attr_id) else {
-                    return false;
-                };
-                dict.label(id).map(|l| self.op.matches_label(l)).unwrap_or(false)
+        match dataset.column(attr_id) {
+            ColumnView::Numeric(v) => {
+                v.as_slice().get(row).map(|&x| self.op.matches_num(x)).unwrap_or(false)
+            }
+            ColumnView::Categorical(c) => c
+                .ids
+                .get(row)
+                .and_then(|&id| c.dict.label(id))
+                .map(|l| self.op.matches_label(l))
+                .unwrap_or(false),
+        }
+    }
+
+    /// Columnar evaluation primitive: fill `mask[i] = row i satisfies
+    /// self` over a whole column view. Attribute kind dispatch and
+    /// dictionary lookups happen once per column; the loop per op is a
+    /// branch-light scan of the attribute-contiguous slice. Kind
+    /// mismatches fill `false` (same policy as
+    /// [`matches_row`](Self::matches_row)).
+    pub fn fill_mask(&self, view: ColumnView<'_>, mask: &mut Vec<bool>) {
+        mask.clear();
+        match view {
+            ColumnView::Numeric(v) => {
+                let values = v.as_slice();
+                match self.op {
+                    PredicateOp::Lt(x) => mask.extend(values.iter().map(|&v| v < x)),
+                    PredicateOp::Gt(x) => mask.extend(values.iter().map(|&v| v > x)),
+                    PredicateOp::Between(lo, hi) => {
+                        mask.extend(values.iter().map(|&v| lo < v && v < hi))
+                    }
+                    PredicateOp::InSet(_) => mask.resize(values.len(), false),
+                }
+            }
+            ColumnView::Categorical(c) => {
+                if self.op.is_numeric() {
+                    mask.resize(c.ids.len(), false);
+                } else {
+                    let table = self.op.category_table(c.dict);
+                    mask.extend(
+                        c.ids.iter().map(|&id| table.get(id as usize).copied().unwrap_or(false)),
+                    );
+                }
             }
         }
     }
 
     /// Fraction of the rows in `rows` that satisfy the predicate
-    /// (`|Pred(T)| / |T|` in the paper's notation); `0.0` for no rows.
+    /// (`|Pred(T)| / |T|` in the paper's notation); `0.0` for no rows or
+    /// an unknown attribute.
     pub fn selectivity(&self, dataset: &Dataset, rows: &[usize]) -> f64 {
+        let Some(attr_id) = dataset.schema().id_of(&self.attr) else {
+            return 0.0;
+        };
+        self.selectivity_view(dataset.column(attr_id), rows)
+    }
+
+    /// [`selectivity`](Self::selectivity) over an already-resolved column
+    /// view: the hot-path form, with the op dispatch hoisted out of the
+    /// row loop. Out-of-range rows count as non-matching.
+    pub fn selectivity_view(&self, view: ColumnView<'_>, rows: &[usize]) -> f64 {
         if rows.is_empty() {
             return 0.0;
         }
-        let hits = rows.iter().filter(|&&r| self.matches_row(dataset, r)).count();
+        let hits = match view {
+            ColumnView::Numeric(v) => {
+                let values = v.as_slice();
+                let count = |pred: &dyn Fn(f64) -> bool| {
+                    rows.iter()
+                        .filter(|&&r| values.get(r).map(|&v| pred(v)).unwrap_or(false))
+                        .count()
+                };
+                match self.op {
+                    PredicateOp::Lt(x) => count(&|v| v < x),
+                    PredicateOp::Gt(x) => count(&|v| v > x),
+                    PredicateOp::Between(lo, hi) => count(&|v| lo < v && v < hi),
+                    PredicateOp::InSet(_) => 0,
+                }
+            }
+            ColumnView::Categorical(c) => {
+                if self.op.is_numeric() {
+                    0
+                } else {
+                    let table = self.op.category_table(c.dict);
+                    rows.iter()
+                        .filter(|&&r| {
+                            c.ids
+                                .get(r)
+                                .map(|&id| table.get(id as usize).copied().unwrap_or(false))
+                                .unwrap_or(false)
+                        })
+                        .count()
+                }
+            }
+        };
         hits as f64 / rows.len() as f64
     }
 }
@@ -134,7 +222,7 @@ pub fn display_conjunction(predicates: &[Predicate]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbsherlock_telemetry::{AttributeMeta, Schema};
+    use dbsherlock_telemetry::{AttributeMeta, Schema, Value};
 
     fn dataset() -> Dataset {
         let schema = Schema::from_attrs([

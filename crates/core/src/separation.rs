@@ -1,20 +1,45 @@
 //! Separation power (paper Eq. 1) on tuples and on partition spaces.
 
-use dbsherlock_telemetry::{Dataset, Region};
+use dbsherlock_telemetry::{ColumnView, Dataset, Region};
 
 use crate::partition::{PartitionLabel, PartitionSpace};
 use crate::predicate::{Predicate, PredicateOp};
 
 /// Tuple-level separation power (Eq. 1):
 /// `SP(Pred) = |Pred(T_A)| / |T_A|  −  |Pred(T_N)| / |T_N|`, in `[-1, 1]`.
+/// Unknown attributes score `0`.
 pub fn separation_power(
     predicate: &Predicate,
     dataset: &Dataset,
     abnormal: &Region,
     normal: &Region,
 ) -> f64 {
-    predicate.selectivity(dataset, abnormal.indices())
-        - predicate.selectivity(dataset, normal.indices())
+    let Some(attr_id) = dataset.schema().id_of(&predicate.attr) else {
+        return 0.0;
+    };
+    separation_power_view(predicate, dataset.column(attr_id), abnormal, normal)
+}
+
+/// [`separation_power`] over an already-resolved column view: fills the
+/// predicate's mask once, then counts hits over both regions — one column
+/// scan instead of two row-wise selectivity passes.
+pub fn separation_power_view(
+    predicate: &Predicate,
+    view: ColumnView<'_>,
+    abnormal: &Region,
+    normal: &Region,
+) -> f64 {
+    let mut mask = Vec::new();
+    predicate.fill_mask(view, &mut mask);
+    let frac = |region: &Region| -> f64 {
+        let rows = region.indices();
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let hits = rows.iter().filter(|&&r| mask.get(r).copied().unwrap_or(false)).count();
+        hits as f64 / rows.len() as f64
+    };
+    frac(abnormal) - frac(normal)
 }
 
 /// Does partition `j` of `space` satisfy `predicate`?
@@ -58,21 +83,37 @@ pub fn partition_separation_power(
     dataset: &Dataset,
     attr_id: usize,
 ) -> f64 {
+    // Resolve satisfaction once per column: midpoint tests stay per-
+    // partition arithmetic, categorical tests become one dictionary
+    // lookup per distinct category instead of one per labeled partition.
+    let satisfies: Vec<bool> = match space {
+        PartitionSpace::Numeric { .. } => (0..labels.len())
+            .map(|j| space.midpoint(j).map(|m| predicate.op.matches_num(m)).unwrap_or(false))
+            .collect(),
+        PartitionSpace::Categorical { .. } => match dataset.categorical(attr_id) {
+            Ok((_, dict)) => {
+                let table = predicate.op.category_table(dict);
+                (0..labels.len()).map(|j| table.get(j).copied().unwrap_or(false)).collect()
+            }
+            Err(_) => vec![false; labels.len()],
+        },
+    };
     let mut abnormal_total = 0usize;
     let mut abnormal_hits = 0usize;
     let mut normal_total = 0usize;
     let mut normal_hits = 0usize;
     for (j, &label) in labels.iter().enumerate() {
+        let sat = satisfies.get(j).copied().unwrap_or(false);
         match label {
             PartitionLabel::Abnormal => {
                 abnormal_total += 1;
-                if partition_satisfies(predicate, space, dataset, attr_id, j) {
+                if sat {
                     abnormal_hits += 1;
                 }
             }
             PartitionLabel::Normal => {
                 normal_total += 1;
-                if partition_satisfies(predicate, space, dataset, attr_id, j) {
+                if sat {
                     normal_hits += 1;
                 }
             }
@@ -102,16 +143,7 @@ pub fn numeric_direction(op: &PredicateOp) -> Option<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbsherlock_telemetry::{AttributeMeta, Schema, Value};
-
-    fn dataset(values: &[f64]) -> Dataset {
-        let schema = Schema::from_attrs([AttributeMeta::numeric("x")]).unwrap();
-        let mut d = Dataset::new(schema);
-        for (i, &v) in values.iter().enumerate() {
-            d.push_row(i as f64, &[Value::Num(v)]).unwrap();
-        }
-        d
-    }
+    use crate::fixtures::numeric_dataset as dataset;
 
     #[test]
     fn perfect_separator_scores_one() {

@@ -70,12 +70,19 @@ pub enum RuleKind {
     /// outside shutdown paths — failures must be counted, logged, or
     /// propagated.
     SwallowedError,
+    /// Semantic: per-cell `.value()` dispatch inside the columnar kernel
+    /// files (`crates/core/src/{label,partition,separation,filter,
+    /// predicate}.rs`). Those hot paths were rewritten to take typed
+    /// column views from a `ColumnarSnapshot`; a row-wise access creeping
+    /// back in silently reintroduces the per-cell enum match the rewrite
+    /// removed. The `scalar` reference shim is deliberately out of scope.
+    RowWiseHotPath,
 }
 
 impl RuleKind {
     /// All rules, in reporting order (token rules, then semantic rules,
     /// then flow rules).
-    pub const ALL: [RuleKind; 14] = [
+    pub const ALL: [RuleKind; 15] = [
         RuleKind::PanicPath,
         RuleKind::NanUnsafe,
         RuleKind::UnseededRng,
@@ -87,6 +94,7 @@ impl RuleKind {
         RuleKind::BudgetBlindLoop,
         RuleKind::UnsyncedStoreWrite,
         RuleKind::UnboundedChannel,
+        RuleKind::RowWiseHotPath,
         RuleKind::LockOrderInversion,
         RuleKind::GuardAcrossBlocking,
         RuleKind::SwallowedError,
@@ -106,6 +114,7 @@ impl RuleKind {
             RuleKind::BudgetBlindLoop => "budget-blind-loop",
             RuleKind::UnsyncedStoreWrite => "unsynced-store-write",
             RuleKind::UnboundedChannel => "unbounded-channel",
+            RuleKind::RowWiseHotPath => "row-wise-hot-path",
             RuleKind::LockOrderInversion => "lock-order-inversion",
             RuleKind::GuardAcrossBlocking => "guard-across-blocking",
             RuleKind::SwallowedError => "swallowed-error",
@@ -133,6 +142,7 @@ impl RuleKind {
             }
             RuleKind::UnsyncedStoreWrite => "filesystem mutation outside the store module",
             RuleKind::UnboundedChannel => "unbounded buffer growth in a daemon loop",
+            RuleKind::RowWiseHotPath => "per-cell .value() dispatch inside a columnar kernel file",
             RuleKind::LockOrderInversion => {
                 "two mutexes acquired in opposite orders on different call paths"
             }
@@ -483,12 +493,13 @@ pub fn scan_source_indexed(
 
     // The semantic layer: built only when a semantic rule is requested —
     // the syntax analysis costs another pass over the tokens.
-    const SEMANTIC: [RuleKind; 5] = [
+    const SEMANTIC: [RuleKind; 6] = [
         RuleKind::NondetIteration,
         RuleKind::RawPanicHook,
         RuleKind::BudgetBlindLoop,
         RuleKind::UnsyncedStoreWrite,
         RuleKind::UnboundedChannel,
+        RuleKind::RowWiseHotPath,
     ];
     let needs_semantic = rules.iter().any(|r| SEMANTIC.contains(r));
     let needs_flow = rules.iter().any(|r| FLOW.contains(r));

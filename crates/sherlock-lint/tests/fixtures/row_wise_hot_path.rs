@@ -1,0 +1,48 @@
+//! Fixture: per-cell `value()` dispatch inside a columnar kernel file.
+//! The hot paths take typed column views from a `ColumnarSnapshot`; a
+//! row-wise access creeping back in reintroduces the per-cell enum match
+//! the columnar rewrite removed. Scanned as `crates/core/src/predicate.rs`
+//! by the integration test (the rule is path-scoped).
+
+pub fn selectivity_row_wise(dataset: &Dataset, rows: &[usize], attr_id: usize) -> f64 {
+    let mut hits = 0usize;
+    for &row in rows {
+        match dataset.value(row, attr_id) { // REAL
+            Value::Num(v) => {
+                if v > 0.0 {
+                    hits += 1;
+                }
+            }
+            Value::Cat(_) => {}
+        }
+    }
+    hits as f64 / rows.len().max(1) as f64
+}
+
+pub fn turbofish_is_still_row_wise(dataset: &Dataset) -> f64 {
+    dataset.value::<f64>(0, 1) // REAL
+}
+
+pub fn columnar_is_the_way(snapshot: &ColumnarSnapshot<'_>, attr_id: usize) -> f64 {
+    let Some(view) = snapshot.numeric(attr_id) else { return 0.0 };
+    view.iter().filter(|v| v.is_finite()).sum()
+}
+
+pub fn similar_names_are_not_the_accessor(map: &M, entry: &Entry) {
+    let _ = map.values();
+    let _ = entry.key_value();
+    let _ = value(0, 1);
+}
+
+pub fn sanctioned_site(dataset: &Dataset) -> Value {
+    // sherlock-lint: allow(row-wise-hot-path): cold error-reporting path
+    dataset.value(0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_go_row_wise() {
+        let _ = dataset.value(3, 2);
+    }
+}

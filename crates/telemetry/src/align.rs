@@ -249,6 +249,8 @@ pub fn repair_alignment(
         }
         let mut values = Vec::with_capacity(dataset.schema().len());
         for attr_id in 0..dataset.schema().len() {
+            // Repair is ingestion-side: per-cell access off the hot path.
+            #[allow(deprecated)]
             let v = match dataset.value(row, attr_id) {
                 Value::Num(x) => Value::Num(x),
                 Value::Cat(c) => {

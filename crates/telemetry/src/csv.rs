@@ -33,6 +33,9 @@ pub fn to_csv(dataset: &Dataset) -> String {
         let _ = write!(out, "{}", fmt_num(dataset.timestamps()[row]));
         for (attr_id, attr) in dataset.schema().iter() {
             out.push(',');
+            // Serialization is row-oriented by nature; per-cell access is
+            // the right shape here, not in the diagnosis kernels.
+            #[allow(deprecated)]
             match dataset.value(row, attr_id) {
                 Value::Num(v) => {
                     let _ = write!(out, "{}", fmt_num(v));

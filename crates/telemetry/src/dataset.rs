@@ -6,6 +6,7 @@ use crate::attribute::{AttributeKind, AttributeMeta, Schema};
 use crate::error::{Result, TelemetryError};
 use crate::region::Region;
 use crate::value::{Dictionary, Value};
+use crate::view::{ColumnView, ColumnarSnapshot, NumericView};
 
 /// One column of observations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -133,15 +134,36 @@ impl Dataset {
         }
     }
 
-    /// Numeric column as a slice.
-    pub fn numeric(&self, attr_id: usize) -> Result<&[f64]> {
-        match &self.columns[attr_id] {
-            Column::Numeric(v) => Ok(v),
-            Column::Categorical { .. } => Err(TelemetryError::KindMismatch {
-                attribute: self.schema.attr(attr_id).name.clone(),
-                expected: "numeric",
-            }),
+    /// Numeric column as a slice; `None` for categorical or out-of-range
+    /// attributes. The columnar kernels' preferred numeric accessor.
+    pub fn numeric(&self, attr_id: usize) -> Option<&[f64]> {
+        match self.columns.get(attr_id) {
+            Some(Column::Numeric(v)) => Some(v),
+            _ => None,
         }
+    }
+
+    /// Typed view of one column — the entry point of the columnar API.
+    /// Out-of-range ids yield an empty numeric view so callers can stay
+    /// panic-free without an `Option` at every kernel boundary.
+    pub fn column(&self, attr_id: usize) -> ColumnView<'_> {
+        match self.columns.get(attr_id) {
+            Some(Column::Numeric(v)) => ColumnView::Numeric(NumericView(v)),
+            Some(Column::Categorical { ids, dict }) => {
+                ColumnView::Categorical(crate::view::CategoricalView { ids, dict })
+            }
+            None => ColumnView::Numeric(NumericView(&[])),
+        }
+    }
+
+    /// Pin every column view (plus a memoized range cache) for a whole
+    /// diagnosis pass. See [`ColumnarSnapshot`] for the lifetime model.
+    pub fn snapshot(&self) -> ColumnarSnapshot<'_> {
+        ColumnarSnapshot::new(self)
+    }
+
+    pub(crate) fn columns_internal(&self) -> &[Column] {
+        &self.columns
     }
 
     /// Categorical column as `(ids, dictionary)`.
@@ -156,6 +178,11 @@ impl Dataset {
     }
 
     /// Single scalar at `(row, attr_id)`.
+    #[deprecated(
+        since = "0.9.0",
+        note = "per-cell access pays an enum dispatch per row; take `Dataset::column` \
+                or a `ColumnarSnapshot` and scan the slice (see README migration note)"
+    )]
     pub fn value(&self, row: usize, attr_id: usize) -> Value {
         match &self.columns[attr_id] {
             Column::Numeric(v) => Value::Num(v[row]),
@@ -176,23 +203,25 @@ impl Dataset {
 
     /// Convenience: numeric column by name.
     pub fn numeric_by_name(&self, name: &str) -> Result<&[f64]> {
-        self.numeric(self.schema.require(name)?)
+        let attr_id = self.schema.require(name)?;
+        self.numeric(attr_id).ok_or_else(|| TelemetryError::KindMismatch {
+            attribute: self.schema.attr(attr_id).name.clone(),
+            expected: "numeric",
+        })
     }
 
     /// `(min, max)` of a numeric attribute over **all** rows, ignoring NaNs.
     ///
-    /// Returns an error on empty datasets; the partition space of an
-    /// attribute (paper §4.1) spans exactly this range.
+    /// Returns an error for categorical attributes and for columns without
+    /// a single finite value; the partition space of an attribute (paper
+    /// §4.1) spans exactly this range. The fold is
+    /// [`NumericView::finite_range`], shared with the snapshot cache.
     pub fn numeric_range(&self, attr_id: usize) -> Result<(f64, f64)> {
-        let col = self.numeric(attr_id)?;
-        let mut it = col.iter().copied().filter(|v| v.is_finite());
-        let first = it.next().ok_or(TelemetryError::Empty("numeric column"))?;
-        let (mut lo, mut hi) = (first, first);
-        for v in it {
-            lo = lo.min(v);
-            hi = hi.max(v);
-        }
-        Ok((lo, hi))
+        let col = self.numeric(attr_id).ok_or_else(|| TelemetryError::KindMismatch {
+            attribute: self.schema.attr(attr_id).name.clone(),
+            expected: "numeric",
+        })?;
+        NumericView(col).finite_range().ok_or(TelemetryError::Empty("numeric column"))
     }
 
     /// Rows whose timestamp falls in `[lo, hi]`, as a [`Region`].
@@ -231,6 +260,9 @@ impl Dataset {
             }
         }
         for &row in region.indices() {
+            // Ingestion-side row materialization: per-cell access is fine
+            // off the diagnosis hot path.
+            #[allow(deprecated)]
             let values: Vec<Value> = (0..self.schema.len()).map(|a| self.value(row, a)).collect();
             out.push_row(self.timestamps[row], &values)?;
         }
@@ -250,6 +282,7 @@ impl Dataset {
         for row in 0..other.n_rows() {
             let mut values = Vec::with_capacity(self.schema.len());
             for attr_id in 0..self.schema.len() {
+                #[allow(deprecated)]
                 let v = match other.value(row, attr_id) {
                     Value::Num(x) => Value::Num(x),
                     Value::Cat(c) => {
@@ -293,8 +326,11 @@ mod tests {
         let (ids, dict) = d.categorical(1).unwrap();
         assert_eq!(ids, &[0, 1, 0]);
         assert_eq!(dict.label(1), Some("busy"));
-        assert_eq!(d.value(1, 0), Value::Num(20.0));
-        assert_eq!(d.value(1, 1), Value::Cat(1));
+        #[allow(deprecated)]
+        {
+            assert_eq!(d.value(1, 0), Value::Num(20.0));
+            assert_eq!(d.value(1, 1), Value::Cat(1));
+        }
         assert_eq!(d.timestamps(), &[0.0, 1.0, 2.0]);
     }
 
@@ -306,7 +342,7 @@ mod tests {
             Err(TelemetryError::ArityMismatch { expected: 2, found: 1 })
         ));
         assert!(d.push_row(0.0, &[Value::Cat(0), Value::Cat(0)]).is_err());
-        assert!(d.numeric(1).is_err());
+        assert!(d.numeric(1).is_none());
         assert!(d.categorical(0).is_err());
         assert!(d.intern(0, "x").is_err());
     }

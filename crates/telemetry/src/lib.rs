@@ -39,6 +39,7 @@ pub mod plot;
 pub mod region;
 pub mod stats;
 pub mod value;
+pub mod view;
 
 pub use align::{
     align, repair_alignment, Aggregation, AlignOptions, CategoricalStream, NumericStream,
@@ -54,3 +55,4 @@ pub use faults::{CorruptionEvent, CorruptionReport, FaultKind, FaultPlan, FaultS
 pub use plot::{render as render_plot, PlotOptions};
 pub use region::Region;
 pub use value::{Dictionary, Value};
+pub use view::{CategoricalView, ColumnView, ColumnarSnapshot, NumericView};

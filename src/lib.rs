@@ -90,5 +90,8 @@ pub mod prelude {
         AnomalyKind, Benchmark, Injection, LabeledDataset, NoiseModel, Scenario, ServerConfig,
         WorkloadConfig,
     };
-    pub use dbsherlock_telemetry::{AttributeKind, AttributeMeta, Dataset, Region, Schema, Value};
+    pub use dbsherlock_telemetry::{
+        AttributeKind, AttributeMeta, CategoricalView, ColumnView, ColumnarSnapshot, Dataset,
+        NumericView, Region, Schema, Value,
+    };
 }

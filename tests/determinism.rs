@@ -53,6 +53,36 @@ fn observe(e: &Explanation) -> (String, CauseBits, CauseBits) {
     (e.predicates_display(), bits(&e.causes), bits(&e.all_causes))
 }
 
+/// Mixed-kind dataset for the columnar/scalar parity properties: a clean
+/// shifting attribute, a NaN-salted noisy attribute, and a categorical
+/// attribute that leans "bad" inside the shift window (so numeric,
+/// non-finite, and dictionary code paths are all on the diffed path).
+fn mixed_dataset_from(
+    base: f64,
+    jump: f64,
+    shift_at: usize,
+    seedish: u64,
+    nan_every: usize,
+) -> (Dataset, Region) {
+    let schema = Schema::from_attrs([
+        AttributeMeta::numeric("shifty"),
+        AttributeMeta::numeric("noisy"),
+        AttributeMeta::categorical("state"),
+    ])
+    .unwrap();
+    let mut d = Dataset::new(schema);
+    let shift = shift_at..(shift_at + 20);
+    for i in 0..100usize {
+        let wiggle = (((i as u64).wrapping_mul(37).wrapping_add(seedish)) % 23) as f64 / 23.0;
+        let shifty = if shift.contains(&i) { base * jump } else { base } + wiggle;
+        let noisy = if i % nan_every == 0 { f64::NAN } else { base + wiggle * 3.0 };
+        let label = if shift.contains(&i) && i % 4 != 0 { "bad" } else { "ok" };
+        let state = d.intern(2, label).unwrap();
+        d.push_row(i as f64, &[Value::Num(shifty), Value::Num(noisy), state]).unwrap();
+    }
+    (d, Region::from_indices(shift))
+}
+
 /// Like [`dataset_from`], but the schema carries the in-band chaos trigger
 /// [`dbsherlock::core::chaos::PANIC_ATTR`], so scoring any causal model
 /// against the dataset panics inside the real rank stage — poisoning the
@@ -138,6 +168,41 @@ proptest! {
         prop_assert_eq!(observe(&a), observe(&b));
     }
 
+    /// ISSUE 8 acceptance: the columnar kernels are bit-identical to the
+    /// retained row-wise scalar shim — on random mixed-kind data with
+    /// NaN-riddled columns, categorical columns, and regions that clip —
+    /// at both `Serial` and `Threads(4)`.
+    #[test]
+    fn columnar_path_is_bit_identical_to_scalar_shim(
+        base in 1.0_f64..100.0,
+        jump in 2.0_f64..10.0,
+        shift_at in 5usize..78,
+        seedish in 0u64..1000,
+        nan_every in 2usize..13,
+        overhang in 0usize..40,
+    ) {
+        let (d, abnormal) = mixed_dataset_from(base, jump, shift_at, seedish, nan_every);
+        // An abnormal region reaching past the dataset must clip the same
+        // way on both paths.
+        let abnormal = abnormal.union(&Region::from_range(100..100 + overhang));
+
+        for exec in [ExecPolicy::Serial, ExecPolicy::Threads(4)] {
+            let sherlock = engine(exec, &d, &abnormal);
+            let columnar = sherlock.try_explain(&d, &abnormal, None).unwrap();
+            let scalar = sherlock.explain_scalar(&d, &abnormal, None).unwrap();
+            prop_assert_eq!(observe(&columnar), observe(&scalar), "exec {:?}", exec);
+        }
+
+        // Same at the generation layer, without the façade.
+        let normal = abnormal.clip(100).complement(100);
+        let params = SherlockParams::default();
+        let columnar_preds =
+            dbsherlock::core::generate_predicates(&d, &abnormal, &normal, &params);
+        let scalar_preds =
+            dbsherlock::core::scalar::generate_predicates(&d, &abnormal, &normal, &params);
+        prop_assert_eq!(columnar_preds, scalar_preds);
+    }
+
     /// Automatic detection is policy-independent too (potential power and
     /// the k-dist scan run on the pool).
     #[test]
@@ -153,6 +218,40 @@ proptest! {
         let b = threaded.detect(&d);
         prop_assert_eq!(a, b);
     }
+}
+
+#[test]
+fn scalar_and_columnar_agree_on_degenerate_regions() {
+    let (d, abnormal) = mixed_dataset_from(10.0, 5.0, 30, 7, 5);
+    let sherlock = engine(ExecPolicy::Serial, &d, &abnormal);
+    // Empty abnormal region: both paths refuse identically.
+    let empty = Region::new();
+    assert!(matches!(
+        sherlock.try_explain(&d, &empty, None),
+        Err(SherlockError::EmptyRegion { what: "abnormal", .. })
+    ));
+    assert!(matches!(
+        sherlock.explain_scalar(&d, &empty, None),
+        Err(SherlockError::EmptyRegion { what: "abnormal", .. })
+    ));
+    // Abnormal covering every row: the implicit normal complement is empty
+    // on both paths.
+    let everything = Region::from_range(0..100);
+    assert!(matches!(
+        sherlock.try_explain(&d, &everything, None),
+        Err(SherlockError::EmptyRegion { what: "normal", .. })
+    ));
+    assert!(matches!(
+        sherlock.explain_scalar(&d, &everything, None),
+        Err(SherlockError::EmptyRegion { what: "normal", .. })
+    ));
+    // At the generation layer an empty region yields no predicates, columnar
+    // and scalar alike.
+    let params = SherlockParams::default();
+    assert!(dbsherlock::core::generate_predicates(&d, &empty, &everything, &params).is_empty());
+    assert!(
+        dbsherlock::core::scalar::generate_predicates(&d, &empty, &everything, &params).is_empty()
+    );
 }
 
 #[test]
