@@ -106,15 +106,28 @@ pub fn diagnose_dataset(
     truth: AnomalyKind,
     params: &SherlockParams,
 ) -> DiagnosisOutcome {
+    diagnose_named(repo, dataset, abnormal, truth.name(), params)
+}
+
+/// [`diagnose_dataset`] with the ground-truth cause as a plain name — the
+/// cluster scenario pack's causes are not [`AnomalyKind`]s, but share the
+/// repository (and these tallies) with the Table 1 classes.
+pub fn diagnose_named(
+    repo: &ModelRepository,
+    dataset: &dbsherlock_telemetry::Dataset,
+    abnormal: &Region,
+    truth: &str,
+    params: &SherlockParams,
+) -> DiagnosisOutcome {
     let abnormal = &abnormal.clip(dataset.n_rows());
     let normal = abnormal.complement(dataset.n_rows());
     let ranked = repo.rank(dataset, abnormal, &normal, params);
-    let correct_rank = ranked.iter().position(|r| r.cause == truth.name());
+    let correct_rank = ranked.iter().position(|r| r.cause == truth);
     let correct_confidence =
         correct_rank.map(|i| ranked[i].confidence).unwrap_or(f64::NEG_INFINITY);
     let best_incorrect = ranked
         .iter()
-        .filter(|r| r.cause != truth.name())
+        .filter(|r| r.cause != truth)
         .map(|r| r.confidence)
         .fold(f64::NEG_INFINITY, f64::max);
     let margin = if best_incorrect.is_finite() && correct_confidence.is_finite() {

@@ -17,7 +17,7 @@ pub mod report;
 
 pub use corpus_cache::{long_corpus, of_kind, tpcc_corpus, tpce_corpus, CORPUS_SEED};
 pub use eval::{
-    diagnose, diagnose_dataset, diagnose_with_region, merged_model, predicates_for, random_split,
-    repository_from, single_model, DiagnosisOutcome, Tally,
+    diagnose, diagnose_dataset, diagnose_named, diagnose_with_region, merged_model, predicates_for,
+    random_split, repository_from, single_model, DiagnosisOutcome, Tally,
 };
 pub use report::{num, pct, write_json, ExperimentArgs, Table};

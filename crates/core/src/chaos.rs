@@ -37,6 +37,13 @@ pub const PANIC_CAUSE: &str = "__sherlock_chaos::panic_scorer__";
 /// panic deliberately (poisons a whole case; `chaos`-feature builds only).
 pub const PANIC_ATTR: &str = "__sherlock_chaos::panic_attr__";
 
+/// Cause label that makes the intervention engine panic inside the trial
+/// slot that is about to inject it (poisons one candidate's trials; `chaos`-
+/// feature builds only). The per-slot `catch_unwind` boundary must convert
+/// the panic into a populated not-reproduced verdict — the bench asserts
+/// zero escapes.
+pub const PANIC_INTERVENTION: &str = "__sherlock_chaos::panic_intervention__";
+
 /// The scorer's tripwire: panics iff a chaos trigger is present. Called at
 /// the top of confidence scoring; a no-op for every real cause and dataset,
 /// and compiled out entirely without the `chaos` feature.

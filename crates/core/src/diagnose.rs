@@ -22,6 +22,9 @@ use crate::domain::DomainKnowledge;
 use crate::error::SherlockError;
 use crate::exec::{try_par_map_indexed, ExecPolicy};
 use crate::generate::{try_generate_predicates_snapshot, GeneratedPredicate};
+use crate::intervene::{
+    validate_explanation, CauseVerdict, InterventionConfig, InterventionReport, InterventionRunner,
+};
 use crate::params::SherlockParams;
 use crate::predicate::display_conjunction;
 
@@ -63,6 +66,11 @@ pub struct Explanation {
     /// Every stored cause's confidence (superset of `causes`), for
     /// margin-of-confidence analyses.
     pub all_causes: Vec<RankedCause>,
+    /// Interventional verdicts, one per validated candidate. Empty until
+    /// the explanation is passed through
+    /// [`validate_explanation`](crate::intervene::validate_explanation)
+    /// (directly or via [`Sherlock::try_explain_validated`]).
+    pub interventions: Vec<CauseVerdict>,
 }
 
 impl Explanation {
@@ -134,6 +142,7 @@ impl Sherlock {
             predicates: Vec::new(),
             causes: Vec::new(),
             all_causes: Vec::new(),
+            interventions: Vec::new(),
         })
     }
 
@@ -209,7 +218,7 @@ impl Sherlock {
         let predicates = self.domain.prune(dataset, raw, params);
         let all_causes = self.repository.try_rank(dataset, abnormal, normal, params, budget)?;
         let causes = all_causes.iter().filter(|c| c.confidence >= params.lambda).cloned().collect();
-        Ok(Explanation { predicates, causes, all_causes })
+        Ok(Explanation { predicates, causes, all_causes, interventions: Vec::new() })
     }
 
     /// [`try_explain`](Self::try_explain) through the row-wise reference
@@ -247,7 +256,55 @@ impl Sherlock {
             crate::scalar::rank(&self.repository, dataset, abnormal, normal, &self.params);
         let causes =
             all_causes.iter().filter(|c| c.confidence >= self.params.lambda).cloned().collect();
-        Ok(Explanation { predicates, causes, all_causes })
+        Ok(Explanation { predicates, causes, all_causes, interventions: Vec::new() })
+    }
+
+    /// [`try_explain`](Self::try_explain), then interventionally validate
+    /// the top-ranked causes against `runner` (§ interventional validation
+    /// in `intervene`): each candidate's fault is re-injected and the
+    /// explanation's own symptom signature is scored on the re-runs. The
+    /// returned explanation carries one populated
+    /// [`InterventionVerdict`](crate::intervene::InterventionVerdict) per
+    /// candidate, with reproduced causes promoted to the front of the
+    /// ranking when `cfg.promote` is set.
+    ///
+    /// Only the *explanation* can fail; trial-level trouble (runner errors,
+    /// blown intervention budgets, panicking trials) degrades to
+    /// not-reproduced verdicts counted in the report.
+    pub fn try_explain_validated(
+        &self,
+        dataset: &Dataset,
+        abnormal: &Region,
+        normal: Option<&Region>,
+        runner: &dyn InterventionRunner,
+        cfg: &InterventionConfig,
+    ) -> Result<(Explanation, InterventionReport), SherlockError> {
+        let mut explanation = self.try_explain(dataset, abnormal, normal)?;
+        let report = validate_explanation(&mut explanation, runner, &self.params, cfg);
+        Ok((explanation, report))
+    }
+
+    /// [`explain_batch`](Self::explain_batch) followed by interventional
+    /// validation of every successful case. Cases fan out first (batch-level
+    /// parallelism, one armed budget); validation then runs case-by-case
+    /// with trial-level parallelism inside, so the thread pool is never
+    /// oversubscribed by nested fan-outs. Per-case errors pass through
+    /// untouched.
+    pub fn explain_batch_validated(
+        &self,
+        cases: &[Case<'_>],
+        runner: &dyn InterventionRunner,
+        cfg: &InterventionConfig,
+    ) -> Vec<Result<(Explanation, InterventionReport), SherlockError>> {
+        self.explain_batch(cases)
+            .into_iter()
+            .map(|result| {
+                result.map(|mut explanation| {
+                    let report = validate_explanation(&mut explanation, runner, &self.params, cfg);
+                    (explanation, report)
+                })
+            })
+            .collect()
     }
 
     /// The user confirmed `cause` for an anomaly whose explanation carried

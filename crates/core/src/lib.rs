@@ -62,6 +62,7 @@ pub mod filter;
 #[cfg(test)]
 pub(crate) mod fixtures;
 pub mod generate;
+pub mod intervene;
 pub mod label;
 pub mod merge;
 pub mod params;
@@ -85,6 +86,10 @@ pub use generate::{
     generate_predicates, generate_predicates_ablated, generate_predicates_snapshot,
     try_generate_predicates, try_generate_predicates_snapshot, AblationFlags, GeneratedPredicate,
 };
+pub use intervene::{
+    attempt_seed, trial_seed, validate_explanation, CauseVerdict, InterventionConfig,
+    InterventionReport, InterventionRunner, InterventionVerdict, TrialRun,
+};
 pub use merge::{merge_all, merge_models, merge_predicates};
 pub use params::{SherlockParams, SherlockParamsBuilder};
 pub use partition::{PartitionLabel, PartitionSpace};
@@ -105,6 +110,9 @@ pub mod prelude {
     pub use crate::error::SherlockError;
     pub use crate::exec::ExecPolicy;
     pub use crate::generate::GeneratedPredicate;
+    pub use crate::intervene::{
+        InterventionConfig, InterventionRunner, InterventionVerdict, TrialRun,
+    };
     pub use crate::store::ModelStore;
     pub use crate::{RankedCause, SherlockParams, SherlockParamsBuilder};
     pub use dbsherlock_telemetry::{CategoricalView, ColumnView, ColumnarSnapshot, NumericView};

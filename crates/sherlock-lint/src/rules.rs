@@ -57,6 +57,12 @@ pub enum RuleKind {
     /// connection loop without a bound is how a flooding client pins the
     /// process — every accumulator must check, shed, or drain.
     UnboundedChannel,
+    /// Semantic: a `loop`/`while` that sleeps between iterations (a retry
+    /// or backoff loop) without an attempt counter or a deadline/shutdown
+    /// poll in reach. A retry loop that can spin forever turns one
+    /// persistent fault into a hung drain; every backoff must be bounded
+    /// by attempts or by time.
+    UnboundedRetry,
     /// Flow: the same two mutexes acquired in opposite orders on different
     /// paths (including one interprocedural call-graph step) — the classic
     /// deadlock recipe between `tenants` and `queue`.
@@ -82,7 +88,7 @@ pub enum RuleKind {
 impl RuleKind {
     /// All rules, in reporting order (token rules, then semantic rules,
     /// then flow rules).
-    pub const ALL: [RuleKind; 15] = [
+    pub const ALL: [RuleKind; 16] = [
         RuleKind::PanicPath,
         RuleKind::NanUnsafe,
         RuleKind::UnseededRng,
@@ -94,6 +100,7 @@ impl RuleKind {
         RuleKind::BudgetBlindLoop,
         RuleKind::UnsyncedStoreWrite,
         RuleKind::UnboundedChannel,
+        RuleKind::UnboundedRetry,
         RuleKind::RowWiseHotPath,
         RuleKind::LockOrderInversion,
         RuleKind::GuardAcrossBlocking,
@@ -114,6 +121,7 @@ impl RuleKind {
             RuleKind::BudgetBlindLoop => "budget-blind-loop",
             RuleKind::UnsyncedStoreWrite => "unsynced-store-write",
             RuleKind::UnboundedChannel => "unbounded-channel",
+            RuleKind::UnboundedRetry => "unbounded-retry",
             RuleKind::RowWiseHotPath => "row-wise-hot-path",
             RuleKind::LockOrderInversion => "lock-order-inversion",
             RuleKind::GuardAcrossBlocking => "guard-across-blocking",
@@ -142,6 +150,7 @@ impl RuleKind {
             }
             RuleKind::UnsyncedStoreWrite => "filesystem mutation outside the store module",
             RuleKind::UnboundedChannel => "unbounded buffer growth in a daemon loop",
+            RuleKind::UnboundedRetry => "retry/backoff loop with no attempt bound or deadline poll",
             RuleKind::RowWiseHotPath => "per-cell .value() dispatch inside a columnar kernel file",
             RuleKind::LockOrderInversion => {
                 "two mutexes acquired in opposite orders on different call paths"
@@ -493,12 +502,13 @@ pub fn scan_source_indexed(
 
     // The semantic layer: built only when a semantic rule is requested —
     // the syntax analysis costs another pass over the tokens.
-    const SEMANTIC: [RuleKind; 6] = [
+    const SEMANTIC: [RuleKind; 7] = [
         RuleKind::NondetIteration,
         RuleKind::RawPanicHook,
         RuleKind::BudgetBlindLoop,
         RuleKind::UnsyncedStoreWrite,
         RuleKind::UnboundedChannel,
+        RuleKind::UnboundedRetry,
         RuleKind::RowWiseHotPath,
     ];
     let needs_semantic = rules.iter().any(|r| SEMANTIC.contains(r));

@@ -111,6 +111,33 @@ const HOT_PATH_FILES: &[&str] = &[
 /// Container types whose unbounded growth is the daemon hazard.
 const GROWABLE_TYPES: &[&str] = &["Vec", "VecDeque"];
 
+/// Blocking waits that mark a loop as a retry/backoff loop
+/// (`unbounded-retry`): a loop that sleeps between iterations is waiting
+/// for something external to change, and must bound how long it waits.
+const RETRY_SLEEPS: &[&str] = &["sleep", "sleep_ms", "park_timeout"];
+
+/// Identifier substrings that show a retry loop is bounded: an attempt
+/// counter, a deadline/elapsed-time poll, a budget handle, or a
+/// shutdown/cancellation flag. Matched case-insensitively as substrings so
+/// `max_attempts`, `save_attempts`, `n_retries`, `drain_deadline_ms` all
+/// count. False negatives are the safe direction here — the rule must
+/// hold the workspace at zero findings without baseline support.
+const RETRY_GUARDS: &[&str] = &[
+    "attempt",
+    "tries",
+    "retr",
+    "deadline",
+    "elapsed",
+    "budget",
+    "timeout",
+    "instant",
+    "shutdown",
+    "cancel",
+    "stop",
+    "remaining",
+    "expire",
+];
+
 /// Methods that bound, shed, or drain a container: seeing one of these on
 /// the growth receiver means the author is managing capacity.
 const BOUNDERS: &[&str] = &[
@@ -166,6 +193,12 @@ pub(crate) fn scan_semantic(
         && path.contains("crates/sherlockd/")
     {
         unbounded_channel(&ctx, emit);
+    }
+    // Library-wide (unlike `unbounded-channel`): a retry loop that can
+    // spin forever is a hang wherever it lives — store saves, drains,
+    // intervention trials. Binaries and tests may poll freely.
+    if rules.contains(&RuleKind::UnboundedRetry) && class == FileClass::Lib {
+        unbounded_retry(&ctx, emit);
     }
     // Scoped to the columnar kernel files: `value()` is a fine API
     // everywhere else (the scalar shim and cold paths use it on purpose);
@@ -602,6 +635,50 @@ fn unbounded_channel(ctx: &Ctx<'_>, emit: &mut dyn FnMut(RuleKind, u32, String))
     }
 }
 
+// ----- unbounded-retry ----------------------------------------------------
+
+fn unbounded_retry(ctx: &Ctx<'_>, emit: &mut dyn FnMut(RuleKind, u32, String)) {
+    for i in 0..ctx.toks.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        // Only `loop` and `while`: a `for` loop is bounded by its iterator.
+        let Some(kw @ ("while" | "loop")) = ctx.ident(i) else { continue };
+        // `while` heads a condition before its body; skip `.loop(` /
+        // `while`-as-ident false positives by requiring a recognisable body.
+        let Some((open, close)) = loop_body(ctx, i, kw) else { continue };
+        // The scanned span runs from the keyword so a `while attempts < N`
+        // condition or a `while !shutdown.load(..)` poll counts as a guard.
+        let span = i..close.min(ctx.toks.len());
+        let sleep_line = span.clone().find_map(|k| {
+            // The sleep must be *inside the body*: a sleep in the
+            // condition is not this pattern.
+            (k > open
+                && ctx.ident(k).is_some_and(|n| RETRY_SLEEPS.contains(&n))
+                && ctx.op(k + 1, "("))
+            .then(|| ctx.toks[k].line) // sherlock-lint: allow(panic-path): scanned index
+        });
+        let Some(line) = sleep_line else { continue };
+        let guarded = span.clone().any(|k| {
+            ctx.ident(k).is_some_and(|n| {
+                let lower = n.to_ascii_lowercase();
+                RETRY_GUARDS.iter().any(|g| lower.contains(g))
+            })
+        });
+        if !guarded {
+            emit(
+                RuleKind::UnboundedRetry,
+                line,
+                format!(
+                    "`{kw}` loop sleeps between iterations with no attempt bound or \
+                     deadline in reach; a persistent fault spins it forever — count \
+                     attempts, poll a deadline/budget, or check a shutdown flag"
+                ),
+            );
+        }
+    }
+}
+
 // ----- row-wise-hot-path --------------------------------------------------
 
 fn row_wise_hot_path(ctx: &Ctx<'_>, emit: &mut dyn FnMut(RuleKind, u32, String)) {
@@ -1000,6 +1077,92 @@ mod tests {
                        seqs.push(row.seq);\n\
                        }\n}";
         assert!(daemon_hits(allowed, FileClass::Lib).is_empty());
+    }
+
+    // ----- unbounded-retry ------------------------------------------------
+
+    #[test]
+    fn unbounded_retry_flags_sleep_loops_without_bounds() {
+        let forever = "fn f(store: &Store) {\n\
+                       loop {\n\
+                       if store.save().is_ok() { break; }\n\
+                       std::thread::sleep(Duration::from_millis(10));\n\
+                       }\n}";
+        assert_eq!(hits(forever, RuleKind::UnboundedRetry, FileClass::Lib), vec![4]);
+        let poll = "fn f(peer: &Peer) {\n\
+                    while !peer.is_ready() {\n\
+                    thread::sleep(POLL_INTERVAL);\n\
+                    }\n}";
+        assert_eq!(hits(poll, RuleKind::UnboundedRetry, FileClass::Lib), vec![3]);
+    }
+
+    #[test]
+    fn unbounded_retry_bounded_loops_are_clean() {
+        // An attempt counter anywhere in the loop (condition or body).
+        let counted = "fn f() {\n\
+                       let mut attempts = 0;\n\
+                       loop {\n\
+                       attempts += 1;\n\
+                       if attempts >= MAX { break; }\n\
+                       std::thread::sleep(BACKOFF);\n\
+                       }\n}";
+        assert!(hits(counted, RuleKind::UnboundedRetry, FileClass::Lib).is_empty());
+        // A deadline poll; `Instant::now() >= deadline` counts twice over.
+        let deadline = "fn f(deadline: Instant) {\n\
+                        while Instant::now() < deadline {\n\
+                        std::thread::sleep(TICK);\n\
+                        }\n}";
+        assert!(hits(deadline, RuleKind::UnboundedRetry, FileClass::Lib).is_empty());
+        // A shutdown-flag poll marks a service loop, not a runaway retry.
+        let service = "fn f(shutdown: &AtomicBool) {\n\
+                       while !shutdown.load(Ordering::SeqCst) {\n\
+                       std::thread::sleep(IDLE);\n\
+                       }\n}";
+        assert!(hits(service, RuleKind::UnboundedRetry, FileClass::Lib).is_empty());
+        // Guard substrings match inside longer names (`n_retries`).
+        let retries = "fn f() {\n\
+                       let mut n_retries = 0;\n\
+                       while n_retries < 3 {\n\
+                       n_retries += 1;\n\
+                       std::thread::sleep(BACKOFF);\n\
+                       }\n}";
+        assert!(hits(retries, RuleKind::UnboundedRetry, FileClass::Lib).is_empty());
+    }
+
+    #[test]
+    fn unbounded_retry_scoping_and_exemptions() {
+        // `for` loops are bounded by their iterator.
+        let staged = "fn f(xs: &[S]) { for x in xs { x.go(); std::thread::sleep(GAP); } }";
+        assert!(hits(staged, RuleKind::UnboundedRetry, FileClass::Lib).is_empty());
+        // No sleep, no retry loop — spins belong to other rules.
+        let busy = "fn f(s: &mut Stack) { while let Some(x) = s.pop() { work(x); } }";
+        assert!(hits(busy, RuleKind::UnboundedRetry, FileClass::Lib).is_empty());
+        // A sleep in the *condition* (exotic, but possible via a helper
+        // chain) is not a body sleep.
+        let cond = "fn f() { while sleep_then_probe() { tick(); } }";
+        assert!(hits(cond, RuleKind::UnboundedRetry, FileClass::Lib).is_empty());
+        // Binaries/tests may poll freely.
+        let forever = "fn f() { loop { std::thread::sleep(T); } }";
+        assert!(hits(forever, RuleKind::UnboundedRetry, FileClass::Other).is_empty());
+        let in_test = "#[cfg(test)]\nmod t { fn f() { loop { std::thread::sleep(T); } } }";
+        assert!(hits(in_test, RuleKind::UnboundedRetry, FileClass::Lib).is_empty());
+        // The escape documents externally-bounded waits.
+        let allowed = "fn f(gate: &Gate) {\n\
+                       while gate.is_closed() {\n\
+                       // sherlock-lint: allow(unbounded-retry): watchdog-bounded\n\
+                       std::thread::sleep(TICK);\n\
+                       }\n}";
+        assert!(hits(allowed, RuleKind::UnboundedRetry, FileClass::Lib).is_empty());
+        // An unguarded inner retry inside a guarded service loop still
+        // fires — the outer flag cannot interrupt the inner spin.
+        let nested = "fn f(shutdown: &Flag) {\n\
+                      while !shutdown.get() {\n\
+                      loop {\n\
+                      if save().is_ok() { break; }\n\
+                      std::thread::sleep(B);\n\
+                      }\n\
+                      }\n}";
+        assert_eq!(hits(nested, RuleKind::UnboundedRetry, FileClass::Lib), vec![5]);
     }
 
     // ----- row-wise-hot-path ----------------------------------------------

@@ -1,0 +1,88 @@
+//! Fixture for `unbounded-retry`: sleep-in-loop retry patterns with no
+//! attempt bound or deadline poll. Library-wide scope — a retry loop that
+//! can spin forever hangs a drain no matter which crate it lives in.
+//! Lines carrying the REAL marker must be flagged; everything else must not.
+
+/// The classic hang: retry a save forever on a persistent fault.
+fn persist_forever(store: &Store, repo: &Repo) {
+    loop {
+        if store.save(repo).is_ok() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10)); // REAL
+    }
+}
+
+/// A `while` that polls a condition the loop itself never bounds.
+fn wait_for_peer(peer: &Peer) {
+    while !peer.is_ready() {
+        thread::sleep(POLL_INTERVAL); // REAL
+    }
+}
+
+/// Attempt-counted backoff: the daemon's save pattern, clean.
+fn persist_bounded(store: &Store, repo: &Repo) {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        if store.save(repo).is_ok() || attempts >= MAX_ATTEMPTS {
+            break;
+        }
+        std::thread::sleep(backoff_for(attempts));
+    }
+}
+
+/// Deadline-capped polling: the drain pattern, clean.
+fn drain_queue(queue: &Queue, deadline: Instant) {
+    loop {
+        if queue.is_empty() || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A shutdown-flag poll is a service loop, not a runaway retry: clean.
+fn accept_loop(listener: &Listener, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(conn) => handle(conn),
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// `for` loops are bounded by their iterator: clean even with a sleep.
+fn staged_restart(services: &[Service]) {
+    for service in services {
+        service.restart();
+        std::thread::sleep(STAGGER);
+    }
+}
+
+/// A loop that never sleeps is not a retry loop (other rules own spins).
+fn busy_reduce(items: &mut Stack) -> u64 {
+    let mut acc = 0;
+    while let Some(item) = items.pop() {
+        acc += item.weight();
+    }
+    acc
+}
+
+/// The escape documents a loop bounded by something the rule cannot see.
+fn wait_externally_bounded(gate: &Gate) {
+    while gate.is_closed() {
+        // sherlock-lint: allow(unbounded-retry): the gate's watchdog kills us
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may poll freely — the harness has its own timeout.
+    fn spin_until_ready(peer: &Peer) {
+        while !peer.is_ready() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}

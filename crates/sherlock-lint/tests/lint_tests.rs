@@ -242,6 +242,20 @@ fn unbounded_channel_fixture_flags_exactly_the_marked_lines() {
 }
 
 #[test]
+fn unbounded_retry_fixture_flags_exactly_the_marked_lines() {
+    let (source, findings) = scan_fixture("unbounded_retry.rs", FileClass::Lib);
+    assert_matches_markers(&source, &findings, RuleKind::UnboundedRetry);
+    // The attempt-counted backoff, deadline-capped drain, shutdown-polled
+    // accept loop, `for` loops, sleepless spins, the allow escape and the
+    // test module are silent.
+    let rule_hits = findings.iter().filter(|f| f.rule == RuleKind::UnboundedRetry).count();
+    assert_eq!(rule_hits, 2, "{findings:#?}");
+    // Bin/bench/test files may poll freely.
+    let (_, other) = scan_fixture("unbounded_retry.rs", FileClass::Other);
+    assert!(!other.iter().any(|f| f.rule == RuleKind::UnboundedRetry), "{other:#?}");
+}
+
+#[test]
 fn row_wise_hot_path_fixture_flags_exactly_the_marked_lines() {
     // The rule is path-scoped to the columnar kernel files, so label the
     // fixture as one of them instead of using `scan_fixture`.

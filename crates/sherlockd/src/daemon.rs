@@ -28,7 +28,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dbsherlock_core::{
-    CancelFlag, ExecPolicy, ModelStore, Sherlock, SherlockError, SherlockParams, StoreReport,
+    CancelFlag, ExecPolicy, ModelRepository, ModelStore, Sherlock, SherlockError, SherlockParams,
+    StoreReport,
 };
 use dbsherlock_telemetry::{parse_header_lossy, parse_line_lossy, IngestWarning};
 
@@ -158,6 +159,9 @@ pub struct DrainReport {
     /// Warnings from re-loading the just-saved store (empty = checksum and
     /// structure verified intact).
     pub verify_warnings: Vec<String>,
+    /// Save attempts spent (1 = clean first try; up to [`SAVE_ATTEMPTS`]
+    /// under transient store failures; 0 = no store configured).
+    pub save_attempts: u32,
 }
 
 impl DrainReport {
@@ -669,20 +673,102 @@ impl Daemon {
         }
         let mut store_saved = None;
         let mut verify_warnings = Vec::new();
+        let mut save_attempts = 0;
         if let Some(path) = &self.cfg.store_path {
             // Single-writer contract: workers are joined, so this is the
-            // only writer touching the store path.
+            // only writer touching the store path. Transient save/verify
+            // failures (ENOSPC clearing, a backup agent briefly holding the
+            // file, …) get a bounded, jittered, deadline-capped retry.
             let store = ModelStore::new(path);
-            let saved = store.save(self.sherlock.repository());
-            if saved.is_ok() {
+            let (saved, warnings, attempts) =
+                save_with_backoff(&store, self.sherlock.repository(), deadline, &mut |_| {});
+            store_saved = Some(saved);
+            verify_warnings = warnings;
+            save_attempts = attempts;
+        }
+        DrainReport { clean, store_saved, verify_warnings, save_attempts }
+    }
+}
+
+/// Drain-time store saves retry at most this many times before giving up —
+/// SIGTERM must terminate, so the retry loop is bounded by attempts *and*
+/// capped by the drain deadline.
+pub const SAVE_ATTEMPTS: u32 = 3;
+
+/// Base backoff between drain-save attempts, doubled per retry and spread
+/// by deterministic jitter so a fleet draining together doesn't hammer
+/// shared storage in lockstep.
+const SAVE_BACKOFF_MS: u64 = 10;
+
+/// splitmix64-style deterministic jitter in `0..SAVE_BACKOFF_MS` ms (no
+/// unseeded RNG in daemon code).
+fn backoff_jitter_ms(attempt: u32) -> u64 {
+    let mut x = 0x5AFE_D8A1_u64 ^ ((attempt as u64) << 32);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (x ^ (x >> 31)) % SAVE_BACKOFF_MS
+}
+
+/// Save `repo` to `store` and verify the written generation by re-loading
+/// it, with bounded exponential backoff on failure: up to [`SAVE_ATTEMPTS`]
+/// attempts, sleeping `10ms·2^(attempt−1)` plus jitter between them, never
+/// past `deadline`. An attempt succeeds only when the save, the verify
+/// load, *and* the round-trip agree — a load that silently recovered (from
+/// the previous generation or a fresh start) or came back with the wrong
+/// model count is a failed save, not a success, even though `load()`
+/// reports `Ok`.
+///
+/// `after_save` runs after each successful save, before its verify — the
+/// fault-injection seam for tests (production passes a no-op).
+///
+/// Returns the last attempt's save result, its verify warnings (empty on
+/// success), and the attempts spent.
+pub fn save_with_backoff(
+    store: &ModelStore,
+    repo: &ModelRepository,
+    deadline: Instant,
+    after_save: &mut dyn FnMut(u32),
+) -> (Result<StoreReport, SherlockError>, Vec<String>, u32) {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let saved = store.save(repo);
+        let mut warnings = Vec::new();
+        match &saved {
+            Ok(_) => {
+                after_save(attempts);
                 match store.load() {
-                    Ok((_, report)) => verify_warnings = report.warnings,
-                    Err(e) => verify_warnings.push(format!("verify load failed: {e}")),
+                    Ok((loaded, report)) => {
+                        warnings = report.warnings;
+                        if report.recovered_from_backup {
+                            warnings.push(
+                                "verify: primary damaged; load recovered the previous generation"
+                                    .to_string(),
+                            );
+                        }
+                        if loaded.models().len() != repo.models().len() {
+                            warnings.push(format!(
+                                "verify: loaded {} models, expected {}",
+                                loaded.models().len(),
+                                repo.models().len()
+                            ));
+                        }
+                    }
+                    Err(e) => warnings.push(format!("verify load failed: {e}")),
+                }
+                if warnings.is_empty() {
+                    return (saved, warnings, attempts);
                 }
             }
-            store_saved = Some(saved);
+            Err(e) => warnings.push(format!("save failed: {e}")),
         }
-        DrainReport { clean, store_saved, verify_warnings }
+        if attempts >= SAVE_ATTEMPTS || Instant::now() >= deadline {
+            return (saved, warnings, attempts);
+        }
+        let backoff = (SAVE_BACKOFF_MS << (attempts - 1)) + backoff_jitter_ms(attempts);
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        std::thread::sleep(remaining.min(Duration::from_millis(backoff)));
     }
 }
 
@@ -907,7 +993,87 @@ mod tests {
         let report = daemon.drain(workers);
         assert!(report.clean);
         assert!(report.store_verified(), "{:?}", report.verify_warnings);
+        assert_eq!(report.save_attempts, 1, "clean save must not retry");
         assert!(path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn backoff_repo(n: usize) -> ModelRepository {
+        let mut repo = ModelRepository::new();
+        for i in 0..n {
+            repo.add(dbsherlock_core::CausalModel {
+                cause: format!("cause-{i}"),
+                predicates: vec![dbsherlock_core::Predicate::gt("signal", i as f64)],
+                merged_from: 1,
+            });
+        }
+        repo
+    }
+
+    fn backoff_store(tag: &str) -> (std::path::PathBuf, ModelStore) {
+        let dir =
+            std::env::temp_dir().join(format!("sherlockd-backoff-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = ModelStore::new(dir.join("models.bin"));
+        (dir, store)
+    }
+
+    #[test]
+    fn save_with_backoff_recovers_from_transient_store_faults() {
+        let (dir, store) = backoff_store("transient");
+        let repo = backoff_repo(2);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        // The injector vanishes the freshly written primary on the first
+        // two attempts; the third save lands clean.
+        let mut faulted = 0;
+        let (saved, warnings, attempts) =
+            save_with_backoff(&store, &repo, deadline, &mut |attempt| {
+                if attempt <= 2 {
+                    faulted += 1;
+                    dbsherlock_core::StoreFault::DeletePrimary.apply(store.path()).unwrap();
+                }
+            });
+        assert!(saved.is_ok());
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(attempts, 3);
+        assert_eq!(faulted, 2);
+        // The surviving generation round-trips with the full model count.
+        let (loaded, report) = store.load().unwrap();
+        assert_eq!(loaded.models().len(), 2);
+        assert!(report.warnings.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_with_backoff_gives_up_after_bounded_attempts() {
+        let (dir, store) = backoff_store("persistent");
+        let repo = backoff_repo(1);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        // Every attempt's primary is truncated to a zero-length husk: the
+        // verify load sees a fresh start (or recovery), never the saved
+        // generation, so the loop must stop at the attempt bound — not spin
+        // until the deadline.
+        let (_, warnings, attempts) = save_with_backoff(&store, &repo, deadline, &mut |_| {
+            dbsherlock_core::StoreFault::TruncateAt(0).apply(store.path()).unwrap();
+        });
+        assert_eq!(attempts, SAVE_ATTEMPTS);
+        assert!(!warnings.is_empty(), "persistent fault must surface verify warnings");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_with_backoff_expired_deadline_means_one_attempt() {
+        let (dir, store) = backoff_store("deadline");
+        let repo = backoff_repo(1);
+        // Deadline already in the past: one attempt, no sleeps, give up.
+        let deadline = Instant::now();
+        let started = Instant::now();
+        let (_, warnings, attempts) = save_with_backoff(&store, &repo, deadline, &mut |_| {
+            dbsherlock_core::StoreFault::DeletePrimary.apply(store.path()).unwrap();
+        });
+        assert_eq!(attempts, 1);
+        assert!(!warnings.is_empty());
+        assert!(started.elapsed() < Duration::from_millis(500), "must not back off past deadline");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -33,7 +33,10 @@ pub mod protocol;
 pub mod ring;
 
 pub use chaos::{apply_schedule, IngestFault, StreamEvent};
-pub use daemon::{Daemon, DaemonConfig, DaemonStats, DrainReport, LineOutcome, Session, Sink};
+pub use daemon::{
+    save_with_backoff, Daemon, DaemonConfig, DaemonStats, DrainReport, LineOutcome, Session, Sink,
+    SAVE_ATTEMPTS,
+};
 pub use net::{serve, serve_connection, writer_sink, LineReader, NetConfig, ReadEvent};
 pub use protocol::{parse_command, Command, Response};
 pub use ring::{RingRow, RingSnapshot, TenantRing};

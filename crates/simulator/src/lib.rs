@@ -33,9 +33,11 @@
 
 pub mod anomaly;
 pub mod bufferpool;
+pub mod cluster;
 pub mod config;
 pub mod corpus;
 pub mod engine;
+pub mod intervene;
 pub mod locks;
 pub mod metrics;
 pub mod noise;
@@ -45,12 +47,18 @@ pub mod scenario;
 pub mod txn;
 
 pub use anomaly::{AnomalyKind, Injection, Perturbation};
+pub use cluster::{
+    cluster_metrics_schema, standard_cluster_scenario, ClusterAnomalyKind, ClusterConfig,
+    ClusterInjection, ClusterLabeledDataset, ClusterScenario, CLUSTER_CATEGORICAL_NAMES,
+    CLUSTER_NUMERIC_NAMES, CLUSTER_VARIATIONS, MAX_NODES,
+};
 pub use config::{Benchmark, ServerConfig, WorkloadConfig};
 pub use corpus::{
     compound_cases, compound_dataset, generate_corpus, generate_long_corpus, standard_scenario,
     CorpusEntry, EntryId, NORMAL_SECS, VARIATIONS,
 };
 pub use engine::{Engine, TickOutput};
+pub use intervene::ScenarioRunner;
 pub use metrics::{metrics_schema, CategoricalMetrics, NumericMetrics, CATEGORICAL_NAMES};
 pub use noise::NoiseModel;
 pub use scenario::{CorruptedDataset, LabeledDataset, Scenario};

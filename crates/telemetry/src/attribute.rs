@@ -60,6 +60,15 @@ impl AttributeMeta {
     pub fn categorical(name: impl Into<String>) -> Self {
         AttributeMeta { name: name.into(), kind: AttributeKind::Categorical }
     }
+
+    /// The same attribute renamed under a `prefix.` namespace.
+    ///
+    /// Multi-source telemetry (one metric stream per cluster node) merges
+    /// into a single aligned-tuple schema by namespacing each source:
+    /// `os_cpu_usage` on node 2 becomes `node2.os_cpu_usage`.
+    pub fn namespaced(&self, prefix: &str) -> Self {
+        AttributeMeta { name: format!("{prefix}.{}", self.name), kind: self.kind }
+    }
 }
 
 /// An ordered collection of attributes with O(1) lookup by name.
@@ -137,6 +146,19 @@ impl Schema {
         self.iter().filter(|(_, a)| a.kind == kind).map(|(i, _)| i).collect()
     }
 
+    /// Append every attribute of `other` under a `prefix.` namespace (see
+    /// [`AttributeMeta::namespaced`]), returning the id of the first one.
+    ///
+    /// Errors on duplicate names, which with distinct prefixes can only
+    /// happen if the same prefix is pushed twice.
+    pub fn push_namespaced(&mut self, prefix: &str, other: &Schema) -> Result<usize> {
+        let first = self.attrs.len();
+        for (_, attr) in other.iter() {
+            self.push(attr.namespaced(prefix))?;
+        }
+        Ok(first)
+    }
+
     /// Rebuild the name index (needed after deserializing, since the map is
     /// skipped by serde).
     pub fn rebuild_index(&mut self) {
@@ -206,6 +228,24 @@ mod tests {
             assert_eq!(AttributeKind::from_tag(kind.tag()), Some(kind));
         }
         assert_eq!(AttributeKind::from_tag("bogus"), None);
+    }
+
+    #[test]
+    fn namespacing_prefixes_names_and_keeps_kinds() {
+        let node = Schema::from_attrs([
+            AttributeMeta::numeric("os_cpu_usage"),
+            AttributeMeta::categorical("checkpoint_state"),
+        ])
+        .unwrap();
+        let mut merged = Schema::new();
+        let first0 = merged.push_namespaced("node0", &node).unwrap();
+        let first1 = merged.push_namespaced("node1", &node).unwrap();
+        assert_eq!((first0, first1), (0, 2));
+        assert_eq!(merged.id_of("node1.os_cpu_usage"), Some(2));
+        assert_eq!(merged.attr(3).kind, AttributeKind::Categorical);
+        assert_eq!(merged.attr(3).name, "node1.checkpoint_state");
+        // Same prefix twice collides on every name.
+        assert!(merged.push_namespaced("node0", &node).is_err());
     }
 
     #[test]
