@@ -157,7 +157,13 @@ impl Sherlock {
         normal: Option<&Region>,
     ) -> Result<Explanation, SherlockError> {
         let armed = self.params.budget.arm();
-        self.explain_with(dataset, abnormal, normal, &self.params, &armed)
+        // Same isolation boundary as a batch case: a pipeline bug surfaces
+        // as `TaskPanicked`, never as an unwinding caller thread.
+        try_par_map_indexed(ExecPolicy::Serial, "explain", &[()], |_, _| {
+            self.explain_with(dataset, abnormal, normal, &self.params, &armed)
+        })
+        .pop()
+        .unwrap_or(Err(SherlockError::EmptyInput("dataset")))
     }
 
     /// Diagnose many cases, fanning them out across the thread budget of

@@ -87,18 +87,19 @@ fn encode_record(generation: u64, payload: &[u8]) -> Vec<u8> {
 
 /// Decode a v1 record. `Err` carries the human-readable corruption reason.
 fn decode_record(bytes: &[u8]) -> Result<(u64, ModelRepository), String> {
-    if bytes.len() < HEADER_LEN {
+    let Some((header, payload)) = bytes.split_at_checked(HEADER_LEN) else {
         return Err(format!("truncated header: {} bytes, need {HEADER_LEN}", bytes.len()));
-    }
-    // sherlock-lint: allow(panic-path): length >= HEADER_LEN checked above
-    if &bytes[0..8] != MAGIC {
+    };
+    if header.get(0..8) != Some(MAGIC.as_slice()) {
         return Err("bad magic: not a v1 store record".to_string());
     }
+    // `at + 8 <= HEADER_LEN` for every caller; a broken offset reads as 0
+    // and fails the checksum below rather than panicking.
     let field = |at: usize| -> u64 {
-        let mut buf = [0u8; 8];
-        // sherlock-lint: allow(panic-path): callers pass at <= 24, length >= 32
-        buf.copy_from_slice(&bytes[at..at + 8]);
-        u64::from_le_bytes(buf)
+        header
+            .get(at..at + 8)
+            .and_then(|s| <[u8; 8]>::try_from(s).ok())
+            .map_or(0, u64::from_le_bytes)
     };
     let generation = field(8);
     let payload_len = field(16);
@@ -110,8 +111,6 @@ fn decode_record(bytes: &[u8]) -> Result<(u64, ModelRepository), String> {
             bytes.len()
         ));
     }
-    // sherlock-lint: allow(panic-path): total length validated equal to HEADER_LEN + payload
-    let payload = &bytes[HEADER_LEN..];
     let actual = fnv1a64(&[&generation.to_le_bytes(), &payload_len.to_le_bytes(), payload]);
     if actual != stored_checksum {
         return Err(format!(

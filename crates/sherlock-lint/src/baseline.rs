@@ -182,6 +182,7 @@ mod tests {
             line,
             snippet: snippet.to_string(),
             message: String::new(),
+            trace: Vec::new(),
         }
     }
 

@@ -64,7 +64,7 @@ const SWALLOWABLE: &[&str] =
 /// The dataflow engine packs facts into a `u64`, so at most this many
 /// guard slots are tracked per function (excess slots are ignored —
 /// conservative in the "miss a finding" direction, never a false positive).
-const MAX_SLOTS: usize = 64;
+pub(crate) const MAX_SLOTS: usize = 64;
 
 // ----- control-flow graph -----------------------------------------------
 
@@ -594,9 +594,17 @@ fn detect_acquisition(toks: &[Token], i: usize) -> Option<String> {
         }
         return Some(recv.to_string());
     }
-    // Free-helper form: reject `fn lock(`, `::lock(` definitions/paths.
-    if i >= 1 && (ident_at(toks, i - 1) == Some("fn") || op_at(toks, i - 1, "::")) {
+    // Free-helper form: reject `fn lock(` definitions and type-qualified
+    // paths (`Mutex::lock(`, `Self::lock(`) — but a module-qualified free
+    // helper (`sync::lock(guarded)`) is an acquisition like the bare call.
+    if i >= 1 && ident_at(toks, i - 1) == Some("fn") {
         return None;
+    }
+    if i >= 2 && op_at(toks, i - 1, "::") {
+        let qualifier = ident_at(toks, i - 2);
+        if qualifier.is_none_or(|q| q.starts_with(char::is_uppercase)) {
+            return None;
+        }
     }
     // Scan the argument path expression for its last identifier.
     let mut k = i + 2;
@@ -855,11 +863,11 @@ fn record_events(
     if lower && !declaration && !crate::semantic::NON_CALL_IDENTS.contains(&name) && name != "drop"
     {
         let held: Vec<String> = live(t).into_iter().map(|(_, l)| l).collect();
-        calls.push(CallEvent {
-            callee: syn.resolve(name).to_string(),
-            line: line_at(toks, t),
-            held,
-        });
+        // A path-qualified call (`Self::step(`, `crate::x::step(`, a method
+        // re-exported through `prelude`) already names the item: running it
+        // through the import-alias map would mangle `use a as b` aliases.
+        let callee = if op_at(toks, t.wrapping_sub(1), "::") { name } else { syn.resolve(name) };
+        calls.push(CallEvent { callee: callee.to_string(), line: line_at(toks, t), held });
     }
 }
 

@@ -46,6 +46,10 @@ pub struct LexOutput {
     pub allows: HashMap<u32, Vec<String>>,
     /// Whole-file `// sherlock-lint: allow-file(rule, …)` escapes.
     pub file_allows: Vec<String>,
+    /// Lines containing a string literal with `{:p}` / `{:#p}` pointer
+    /// formatting. `Tok::Str` carries no payload, so the taint layer's
+    /// address-source detection needs this side table.
+    pub addr_fmt_lines: Vec<u32>,
 }
 
 /// Multi-character operators, longest first so maximal munch works by
@@ -191,7 +195,10 @@ pub fn lex(source: &str) -> LexOutput {
         if c == '"' {
             let line = cur.line;
             cur.bump();
-            lex_quoted(&mut cur, '"');
+            let body = lex_quoted(&mut cur, '"');
+            if body.contains("{:p}") || body.contains("{:#p}") {
+                out.addr_fmt_lines.push(line);
+            }
             out.tokens.push(Token { kind: Tok::Str, line });
             continue;
         }
@@ -298,15 +305,23 @@ fn try_lex_prefixed_literal(cur: &mut Cursor) -> Option<Token> {
 }
 
 /// Consume a (non-raw) quoted literal body after the opening quote,
-/// honouring backslash escapes, through the closing `quote`.
-fn lex_quoted(cur: &mut Cursor, quote: char) {
+/// honouring backslash escapes, through the closing `quote`. Returns the
+/// raw body text (escapes included) for content-sensitive side tables.
+fn lex_quoted(cur: &mut Cursor, quote: char) -> String {
+    let mut body = String::new();
     while let Some(c) = cur.bump() {
         if c == '\\' {
-            cur.bump(); // escaped char, never a terminator
+            body.push(c);
+            if let Some(esc) = cur.bump() {
+                body.push(esc); // escaped char, never a terminator
+            }
         } else if c == quote {
             break;
+        } else {
+            body.push(c);
         }
     }
+    body
 }
 
 /// Number starting at an ASCII digit. Distinguishes float from integer:

@@ -11,7 +11,7 @@
 //! mutual-information filter. A single NaN-unsafe comparison, panicking
 //! index, or unseeded RNG silently corrupts diagnoses or breaks bench
 //! reproducibility. `clippy` covers the generic half of that surface; this
-//! crate covers the domain half (see [`rules::RuleKind`]) in three layers.
+//! crate covers the domain half (see [`rules::RuleKind`]) in four layers.
 //!
 //! **Token rules** pattern-match the lexer's stream directly:
 //!
@@ -63,6 +63,23 @@
 //!   poll the budget — the call-graph reachability fixpoint replaced the
 //!   old file-wide mention heuristic.
 //!
+//! **Taint rules** run on the [`taint`] layer — an interprocedural
+//! source/sanitizer/sink analysis with monotone fixed-point function
+//! summaries over the same call graph, plus a panic-reachability pass —
+//! so they can *certify* properties rather than spot-check them:
+//!
+//! * `taint-determinism` — a nondeterministic value (entropy RNG, wall
+//!   clock, hash iteration order, thread id, pointer address) flows into
+//!   a serialized output (`Explanation`/`Response` construction,
+//!   ModelStore records) without a sanitizer (sort, order-free reduction,
+//!   seed-derived stream). Findings carry a source→sanitizer-miss→sink
+//!   trace, emitted as a SARIF `codeFlow`.
+//! * `unisolated-panic` — a panic site reachable from a certified entry
+//!   point (`explain_batch`, `try_explain_validated`, the sherlockd
+//!   ingest loop) with no `catch_unwind`/`try_par_map_indexed` boundary
+//!   on the path. The `--certify` CLI mode distills both rules into
+//!   `tools/lint-certificate.json`, which CI diffs.
+//!
 //! The build is hermetic, so everything here is hand-rolled on `std`: a
 //! token-level Rust lexer ([`lexer`]) instead of `syn`, a tiny JSON emitter
 //! instead of `serde`, and a plain-text suppression baseline
@@ -79,8 +96,10 @@ pub mod lexer;
 pub mod rules;
 pub mod semantic;
 pub mod syntax;
+pub mod taint;
 pub mod workspace;
 
 pub use baseline::Baseline;
-pub use rules::{FileClass, Finding, RuleKind};
-pub use workspace::{scan_workspace, ScanConfig};
+pub use rules::{FileClass, Finding, RuleKind, TraceKind, TraceStep};
+pub use taint::{certify, Certificate, TaintIndex};
+pub use workspace::{scan_workspace, scan_workspace_with_taint, ScanConfig};

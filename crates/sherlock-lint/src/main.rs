@@ -7,15 +7,17 @@
 //! cargo run -p sherlock-lint -- --rule nan-unsafe --no-baseline
 //! cargo run -p sherlock-lint -- --github       # CI annotations
 //! cargo run -p sherlock-lint -- --sarif        # SARIF 2.1.0 (code scanning upload)
+//! cargo run -p sherlock-lint -- --certify      # write tools/lint-certificate.json
 //! ```
 //!
 //! Exit codes: `0` clean, `1` new findings, `2` usage or I/O error.
+//! Under `--certify`, `0` means certified, `1` means a clause failed.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use sherlock_lint::rules::RuleKind;
-use sherlock_lint::workspace::{find_workspace_root, scan_workspace, ScanConfig};
+use sherlock_lint::workspace::{find_workspace_root, scan_workspace_with_taint, ScanConfig};
 use sherlock_lint::Baseline;
 
 const USAGE: &str = "\
@@ -33,6 +35,8 @@ OPTIONS:
     --json              machine-readable output
     --github            GitHub Actions `::error` annotations for new findings
     --sarif             SARIF 2.1.0 output for new findings (code scanning)
+    --certify           run the full rule set, write <root>/tools/lint-certificate.json,
+                        print it, and exit 0 iff every certified entry point is clean
     --list-rules        print the rule names and exit
     -h, --help          this help
 ";
@@ -46,6 +50,7 @@ struct Args {
     json: bool,
     github: bool,
     sarif: bool,
+    certify: bool,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -58,6 +63,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         json: false,
         github: false,
         sarif: false,
+        certify: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -73,6 +79,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--json" => args.json = true,
             "--github" => args.github = true,
             "--sarif" => args.sarif = true,
+            "--certify" => args.certify = true,
             "--rule" => {
                 let name = iter.next().ok_or("--rule needs a value")?;
                 let rule = RuleKind::from_name(&name)
@@ -129,10 +136,31 @@ fn run(args: Args) -> Result<bool, String> {
                 .ok_or("no workspace root found above the current directory; pass --root")?
         }
     };
+    if args.certify {
+        // Certification always runs the full rule set: a certificate
+        // derived from a partial scan would assert clauses never checked.
+        let config = ScanConfig::all_rules(root.clone());
+        let (findings, index) = scan_workspace_with_taint(&config)
+            .map_err(|e| format!("scanning {}: {e}", root.display()))?;
+        let index = index.ok_or("taint index missing from full-rule scan")?;
+        let cert = sherlock_lint::certify(&index, &findings);
+        let json = cert.render_json();
+        let cert_path = root.join("tools").join("lint-certificate.json");
+        std::fs::write(&cert_path, &json)
+            .map_err(|e| format!("writing {}: {e}", cert_path.display()))?;
+        print!("{json}");
+        eprintln!(
+            "sherlock-lint: certificate {} — {}",
+            if cert.certified { "CLEAN" } else { "FAILED" },
+            cert_path.display()
+        );
+        return Ok(cert.certified);
+    }
+
     let rules = if args.rules.is_empty() { RuleKind::ALL.to_vec() } else { args.rules.clone() };
     let config = ScanConfig { root: root.clone(), rules };
-    let findings =
-        scan_workspace(&config).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let (findings, _) = scan_workspace_with_taint(&config)
+        .map_err(|e| format!("scanning {}: {e}", root.display()))?;
 
     let baseline_path =
         args.baseline.unwrap_or_else(|| root.join("tools").join("lint-baseline.txt"));
@@ -246,16 +274,38 @@ fn render_sarif(diff: &sherlock_lint::baseline::Diff<'_>) -> String {
             "        {{\"ruleId\": {}, \"ruleIndex\": {rule_index}, \"level\": \"error\", \
              \"message\": {{\"text\": {}}}, \"locations\": [{{\"physicalLocation\": \
              {{\"artifactLocation\": {{\"uri\": {}}}, \"region\": {{\"startLine\": \
-             {}}}}}}}]}}{}\n",
+             {}}}}}}}]{}}}{}\n",
             json_str(f.rule.name()),
             json_str(&f.message),
             json_str(&f.path),
             f.line.max(1),
+            render_code_flow(f),
             if i + 1 < diff.new.len() { "," } else { "" },
         ));
     }
     out.push_str("      ]\n    }\n  ]\n}\n");
     out
+}
+
+/// A SARIF `codeFlow` for a finding that carries a taint/reachability
+/// trace: one threadFlow whose locations walk source → sanitizer-miss →
+/// sink (or entry → call → panic). Empty string when there is no trace.
+fn render_code_flow(f: &sherlock_lint::Finding) -> String {
+    if f.trace.is_empty() {
+        return String::new();
+    }
+    let mut steps = String::new();
+    for (i, step) in f.trace.iter().enumerate() {
+        steps.push_str(&format!(
+            "{{\"location\": {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}}}}}, \"message\": {{\"text\": {}}}}}}}{}",
+            json_str(&step.path),
+            step.line.max(1),
+            json_str(&format!("{}: {}", step.kind.label(), step.note)),
+            if i + 1 < f.trace.len() { ", " } else { "" },
+        ));
+    }
+    format!(", \"codeFlows\": [{{\"threadFlows\": [{{\"locations\": [{steps}]}}]}}]")
 }
 
 /// Minimal JSON string escaping.

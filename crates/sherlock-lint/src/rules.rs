@@ -9,6 +9,7 @@ use std::fmt;
 use crate::flow::{FileFlow, FlowIndex};
 use crate::lexer::{lex, Tok, Token};
 use crate::syntax::FileSyntax;
+use crate::taint::TaintIndex;
 
 /// The rules sherlock-lint knows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -83,12 +84,25 @@ pub enum RuleKind {
     /// back in silently reintroduces the per-cell enum match the rewrite
     /// removed. The `scalar` reference shim is deliberately out of scope.
     RowWiseHotPath,
+    /// Taint: a nondeterministic value (entropy RNG, wall clock, hash
+    /// iteration order, thread id, pointer address) flows into a
+    /// serialized output (`Explanation`/`Response` construction,
+    /// ModelStore records, bench JSON writers) without a sanitizer (sort,
+    /// order-free reduction, seed-derived stream). Findings carry a
+    /// source → sanitizer-miss → sink trace.
+    TaintDeterminism,
+    /// Taint: an `unwrap`/`expect`/`panic!`/`[]`-indexing site reachable
+    /// from a certified entry point (`explain_batch`,
+    /// `try_explain_validated`, the sherlockd ingest loop) along a call
+    /// path that never crosses a `catch_unwind`/`try_par_map_indexed`
+    /// isolation boundary. Findings carry the witness call chain.
+    UnisolatedPanic,
 }
 
 impl RuleKind {
     /// All rules, in reporting order (token rules, then semantic rules,
     /// then flow rules).
-    pub const ALL: [RuleKind; 16] = [
+    pub const ALL: [RuleKind; 18] = [
         RuleKind::PanicPath,
         RuleKind::NanUnsafe,
         RuleKind::UnseededRng,
@@ -105,6 +119,8 @@ impl RuleKind {
         RuleKind::LockOrderInversion,
         RuleKind::GuardAcrossBlocking,
         RuleKind::SwallowedError,
+        RuleKind::TaintDeterminism,
+        RuleKind::UnisolatedPanic,
     ];
 
     /// Stable kebab-case name (used in baselines and allow-escapes).
@@ -126,6 +142,8 @@ impl RuleKind {
             RuleKind::LockOrderInversion => "lock-order-inversion",
             RuleKind::GuardAcrossBlocking => "guard-across-blocking",
             RuleKind::SwallowedError => "swallowed-error",
+            RuleKind::TaintDeterminism => "taint-determinism",
+            RuleKind::UnisolatedPanic => "unisolated-panic",
         }
     }
 
@@ -157,6 +175,13 @@ impl RuleKind {
             }
             RuleKind::GuardAcrossBlocking => "a live MutexGuard spans a blocking call",
             RuleKind::SwallowedError => "let _ = / .ok() discards a fallible store/net write",
+            RuleKind::TaintDeterminism => {
+                "nondeterministic value reaches a serialized output without a sanitizer"
+            }
+            RuleKind::UnisolatedPanic => {
+                "panic site reachable from a certified entry point without an \
+                 isolation boundary"
+            }
         }
     }
 
@@ -183,6 +208,53 @@ pub enum FileClass {
     Other,
 }
 
+/// What a [`TraceStep`] represents along a taint or panic witness path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Where the nondeterministic value is produced.
+    Source,
+    /// An intermediate hop (a binding, a callee's return value).
+    Propagation,
+    /// Where a sanitizer was expected but missing.
+    SanitizerMiss,
+    /// The serialization boundary the value crosses.
+    Sink,
+    /// A certified entry point (panic traces).
+    Entry,
+    /// An unisolated call edge (panic traces).
+    Call,
+    /// The panic site itself.
+    Panic,
+}
+
+impl TraceKind {
+    /// Stable kebab-case label (SARIF step messages, annotations).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::Source => "source",
+            TraceKind::Propagation => "propagation",
+            TraceKind::SanitizerMiss => "sanitizer-miss",
+            TraceKind::Sink => "sink",
+            TraceKind::Entry => "entry",
+            TraceKind::Call => "call",
+            TraceKind::Panic => "panic",
+        }
+    }
+}
+
+/// One hop in a finding's witness path (taint flow or panic call chain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Workspace-relative path of the hop.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// Role of this hop.
+    pub kind: TraceKind,
+    /// Short human note (`entropy-seeded thread_rng()`, `via binding x`).
+    pub note: String,
+}
+
 /// One violation, anchored to `path:line`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -196,29 +268,56 @@ pub struct Finding {
     pub snippet: String,
     /// Human explanation.
     pub message: String,
+    /// Witness path for the taint rules (empty for the other layers):
+    /// source → sanitizer-miss → sink, or entry → calls → panic site.
+    pub trace: Vec<TraceStep>,
 }
 
 impl Finding {
-    /// `path:line: [rule] message` — the human report line.
+    /// `path:line: [rule] message` — the human report line, with the
+    /// witness path indented below it when one exists.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "{}:{}: [{}] {} — `{}`",
             self.path, self.line, self.rule, self.message, self.snippet
-        )
+        );
+        for step in &self.trace {
+            out.push_str(&format!(
+                "\n    ↳ {}:{} {}: {}",
+                step.path,
+                step.line,
+                step.kind.label(),
+                step.note
+            ));
+        }
+        out
     }
 
     /// GitHub Actions workflow-command annotation:
     /// `::error file=…,line=…,title=sherlock-lint[rule]::message`.
     /// GitHub surfaces these inline on the PR diff when printed to stdout
-    /// inside a workflow step.
+    /// inside a workflow step. The trace rides along in the message body;
+    /// workflow commands are single-line, so every metacharacter in the
+    /// (potentially multi-line) trace notes is %-escaped.
     pub fn render_github(&self) -> String {
+        let trace = if self.trace.is_empty() {
+            String::new()
+        } else {
+            let steps: Vec<String> = self
+                .trace
+                .iter()
+                .map(|s| format!("{} {}:{} ({})", s.kind.label(), s.path, s.line, s.note))
+                .collect();
+            format!(" — trace: {}", steps.join(" -> "))
+        };
         format!(
-            "::error file={},line={},title=sherlock-lint[{}]::{} — `{}`",
+            "::error file={},line={},title=sherlock-lint[{}]::{} — `{}`{}",
             github_escape_property(&self.path),
             self.line,
             self.rule,
             github_escape_data(&self.message),
             github_escape_data(&self.snippet),
+            github_escape_data(&trace),
         )
     }
 }
@@ -235,7 +334,7 @@ fn github_escape_property(s: &str) -> String {
 
 /// Keywords that may directly precede a `[` without it being an index
 /// expression (`let [a, b] = …`, `for x in [..]`, `return [0; 4]`).
-const KEYWORDS: &[&str] = &[
+pub(crate) const KEYWORDS: &[&str] = &[
     "as", "async", "await", "box", "break", "const", "continue", "crate", "do", "dyn", "else",
     "enum", "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
     "mut", "pub", "ref", "return", "static", "struct", "super", "trait", "type", "union", "unsafe",
@@ -268,21 +367,26 @@ pub(crate) const FLOW: [RuleKind; 4] = [
     RuleKind::BudgetBlindLoop,
 ];
 
+/// The taint-layer rules: any of these forces the layer-4 analysis on.
+pub(crate) const TAINT: [RuleKind; 2] = [RuleKind::TaintDeterminism, RuleKind::UnisolatedPanic];
+
 /// Scan one file's source. `path` is only used to label findings. Flow
-/// rules run against a file-local call-graph index; workspace scans use
-/// [`scan_source_indexed`] with the shared index instead.
+/// and taint rules run against file-local call-graph indexes; workspace
+/// scans use [`scan_source_indexed`] with the shared indexes instead.
 pub fn scan_source(path: &str, source: &str, class: FileClass, rules: &[RuleKind]) -> Vec<Finding> {
-    scan_source_indexed(path, source, class, rules, None)
+    scan_source_indexed(path, source, class, rules, None, None)
 }
 
-/// [`scan_source`] with an optional pre-built workspace [`FlowIndex`] so
-/// interprocedural facts cross file boundaries.
+/// [`scan_source`] with optional pre-built workspace indexes
+/// ([`FlowIndex`], [`TaintIndex`]) so interprocedural facts cross file
+/// boundaries.
 pub fn scan_source_indexed(
     path: &str,
     source: &str,
     class: FileClass,
     rules: &[RuleKind],
     index: Option<&FlowIndex>,
+    taint: Option<&TaintIndex>,
 ) -> Vec<Finding> {
     let lexed = lex(source);
     let toks = &lexed.tokens;
@@ -290,7 +394,9 @@ pub fn scan_source_indexed(
     let (attr_mask, test_mask) = structure_masks(toks);
 
     let mut findings = Vec::new();
-    let mut emit = |rule: RuleKind, line: u32, message: String| {
+    // The single filtered push path every layer funnels through: rule
+    // selection, allow-escapes, snippet extraction.
+    let mut push = |rule: RuleKind, line: u32, message: String, trace: Vec<TraceStep>| {
         if !rules.contains(&rule) {
             return;
         }
@@ -309,8 +415,10 @@ pub fn scan_source_indexed(
             .and_then(|l| lines.get(l as usize))
             .map(|l| l.trim().to_string())
             .unwrap_or_default();
-        findings.push(Finding { rule, path: path.to_string(), line, snippet, message });
+        findings.push(Finding { rule, path: path.to_string(), line, snippet, message, trace });
     };
+    let mut emit =
+        |rule: RuleKind, line: u32, message: String| push(rule, line, message, Vec::new());
 
     let ident = |i: usize| match toks.get(i).map(|t| &t.kind) {
         Some(Tok::Ident(name)) => Some(name.as_str()),
@@ -513,9 +621,10 @@ pub fn scan_source_indexed(
     ];
     let needs_semantic = rules.iter().any(|r| SEMANTIC.contains(r));
     let needs_flow = rules.iter().any(|r| FLOW.contains(r));
-    if needs_semantic || needs_flow {
-        let syntax = FileSyntax::analyze(toks);
-        let flow = needs_flow.then(|| FileFlow::analyze(toks, &syntax, &test_mask));
+    let needs_taint = rules.iter().any(|r| TAINT.contains(r));
+    let syntax = (needs_semantic || needs_flow || needs_taint).then(|| FileSyntax::analyze(toks));
+    if let Some(syntax) = syntax.as_ref().filter(|_| needs_semantic || needs_flow) {
+        let flow = needs_flow.then(|| FileFlow::analyze(toks, syntax, &test_mask));
         // No workspace index supplied: fall back to a file-local one so
         // single-file scans (fixtures, tests) still get call-graph facts.
         let local = match (&flow, index) {
@@ -525,12 +634,24 @@ pub fn scan_source_indexed(
         let idx = index.or(local.as_ref());
         if needs_semantic {
             crate::semantic::scan_semantic(
-                path, toks, &syntax, class, &test_mask, rules, idx, &mut emit,
+                path, toks, syntax, class, &test_mask, rules, idx, &mut emit,
             );
         }
         if let (Some(flow), Some(idx)) = (&flow, idx) {
             crate::flow::scan_flow(
-                path, toks, &syntax, flow, class, &test_mask, rules, idx, &mut emit,
+                path, toks, syntax, flow, class, &test_mask, rules, idx, &mut emit,
+            );
+        }
+    }
+    // Layer 4: taint + panic reachability. Uses the traced push path
+    // directly (the other layers' findings carry no trace).
+    if let Some(syntax) = syntax.as_ref().filter(|_| needs_taint) {
+        let local = taint.is_none().then(|| {
+            crate::taint::TaintIndex::from_file(path, &lexed, syntax, &test_mask, &attr_mask)
+        });
+        if let Some(idx) = taint.or(local.as_ref()) {
+            crate::taint::scan_taint(
+                path, &lexed, syntax, class, &test_mask, &attr_mask, rules, idx, &mut push,
             );
         }
     }
@@ -563,12 +684,13 @@ pub fn check_deny_header(path: &str, source: &str) -> Option<Finding> {
         message: "missing `#![cfg_attr(not(test), deny(clippy::unwrap_used, \
                   clippy::expect_used))]` header"
             .to_string(),
+        trace: Vec::new(),
     })
 }
 
 /// Index of the `)` matching the `(` expected at `open`; `None` when
 /// `toks[open]` is not `(` or the stream ends first.
-fn matching_paren(toks: &[Token], open: usize) -> Option<usize> {
+pub(crate) fn matching_paren(toks: &[Token], open: usize) -> Option<usize> {
     if !matches!(toks.get(open).map(|t| &t.kind), Some(Tok::Op("("))) {
         return None;
     }

@@ -17,14 +17,14 @@ use crate::rules::{FileClass, RuleKind};
 use crate::syntax::FileSyntax;
 
 /// Container types whose iteration order is arbitrary.
-const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+pub(crate) const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
 
 /// Containers whose *contents* are order-insensitive: collecting a hash
 /// iteration into one of these launders no ordering into the output.
-const ORDER_FREE_SINKS: &[&str] = &["HashMap", "HashSet", "BTreeMap", "BTreeSet"];
+pub(crate) const ORDER_FREE_SINKS: &[&str] = &["HashMap", "HashSet", "BTreeMap", "BTreeSet"];
 
 /// Iterator-producing methods on the hash containers.
-const ITER_HEADS: &[&str] = &[
+pub(crate) const ITER_HEADS: &[&str] = &[
     "iter",
     "iter_mut",
     "keys",
@@ -37,7 +37,7 @@ const ITER_HEADS: &[&str] = &[
 ];
 
 /// Chain methods that impose an order downstream of the iteration.
-const SORTERS: &[&str] = &[
+pub(crate) const SORTERS: &[&str] = &[
     "sort",
     "sort_by",
     "sort_by_key",
@@ -50,7 +50,7 @@ const SORTERS: &[&str] = &[
 ];
 
 /// Terminal reducers whose result does not depend on iteration order.
-const REDUCERS: &[&str] = &[
+pub(crate) const REDUCERS: &[&str] = &[
     "count",
     "sum",
     "product",
@@ -515,7 +515,14 @@ fn budget_blind_loop(
                 body.clone().any(|k| {
                     ctx.op(k + 1, "(")
                         && ctx.ident(k).is_some_and(|n| {
-                            !NON_CALL_IDENTS.contains(&n) && idx.polls_reachable(ctx.syn.resolve(n))
+                            // Path-qualified callees keep their literal name
+                            // (the alias map only governs bare imports).
+                            let callee = if ctx.op(k.wrapping_sub(1), "::") {
+                                n
+                            } else {
+                                ctx.syn.resolve(n)
+                            };
+                            !NON_CALL_IDENTS.contains(&n) && idx.polls_reachable(callee)
                         })
                 })
             });

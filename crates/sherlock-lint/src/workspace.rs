@@ -7,6 +7,7 @@ use crate::flow::{FileFlow, FlowIndex};
 use crate::lexer::lex;
 use crate::rules::{check_deny_header, scan_source_indexed, FileClass, Finding, RuleKind};
 use crate::syntax::FileSyntax;
+use crate::taint::TaintIndex;
 
 /// Directory names never scanned, wherever they appear.
 const SKIP_DIRS: &[&str] = &[
@@ -77,6 +78,16 @@ pub fn needs_deny_header(rel: &str) -> bool {
 /// summaries) from every library file, pass 2 runs the rules with that
 /// index so interprocedural facts cross file boundaries.
 pub fn scan_workspace(config: &ScanConfig) -> io::Result<Vec<Finding>> {
+    scan_workspace_with_taint(config).map(|(findings, _)| findings)
+}
+
+/// [`scan_workspace`] that also hands back the workspace-wide
+/// [`TaintIndex`] (when any taint rule was requested), so callers like
+/// `--certify` can derive the certificate from the same pass-1 facts the
+/// findings came from.
+pub fn scan_workspace_with_taint(
+    config: &ScanConfig,
+) -> io::Result<(Vec<Finding>, Option<TaintIndex>)> {
     let mut files = Vec::new();
     collect_rs_files(&config.root, &config.root, &mut files)?;
     files.sort();
@@ -88,29 +99,51 @@ pub fn scan_workspace(config: &ScanConfig) -> io::Result<Vec<Finding>> {
         classified.push((rel.clone(), class, source));
     }
 
-    let index = if config.rules.iter().any(|r| crate::rules::FLOW.contains(r)) {
-        let mut index = FlowIndex::default();
+    let needs_flow = config.rules.iter().any(|r| crate::rules::FLOW.contains(r));
+    let needs_taint = config.rules.iter().any(|r| crate::rules::TAINT.contains(r));
+
+    let (flow_index, taint_index) = if needs_flow || needs_taint {
+        let mut flow_index = needs_flow.then(FlowIndex::default);
+        let mut taint_index = needs_taint.then(TaintIndex::default);
         for (rel, class, source) in &classified {
             // Test/bench/binary code never feeds the interprocedural
-            // facts — only library code can deadlock the daemon.
+            // facts — only library code can deadlock the daemon or taint
+            // a serialized diagnosis.
             if *class != FileClass::Lib {
                 continue;
             }
             let lexed = lex(source);
             let syn = FileSyntax::analyze(&lexed.tokens);
-            let (_, test_mask) = crate::rules::structure_masks(&lexed.tokens);
-            let flow = FileFlow::analyze(&lexed.tokens, &syn, &test_mask);
-            index.add_file(rel, &flow);
+            let (attr_mask, test_mask) = crate::rules::structure_masks(&lexed.tokens);
+            if let Some(index) = flow_index.as_mut() {
+                let flow = FileFlow::analyze(&lexed.tokens, &syn, &test_mask);
+                index.add_file(rel, &flow);
+            }
+            if let Some(index) = taint_index.as_mut() {
+                index.add_file(rel, &lexed, &syn, &test_mask, &attr_mask);
+            }
         }
-        index.finalize();
-        Some(index)
+        if let Some(index) = flow_index.as_mut() {
+            index.finalize();
+        }
+        if let Some(index) = taint_index.as_mut() {
+            index.finalize();
+        }
+        (flow_index, taint_index)
     } else {
-        None
+        (None, None)
     };
 
     let mut findings = Vec::new();
     for (rel, class, source) in &classified {
-        findings.extend(scan_source_indexed(rel, source, *class, &config.rules, index.as_ref()));
+        findings.extend(scan_source_indexed(
+            rel,
+            source,
+            *class,
+            &config.rules,
+            flow_index.as_ref(),
+            taint_index.as_ref(),
+        ));
         if config.rules.contains(&RuleKind::DenyHeader) && needs_deny_header(rel) {
             findings.extend(check_deny_header(rel, source));
         }
@@ -118,7 +151,7 @@ pub fn scan_workspace(config: &ScanConfig) -> io::Result<Vec<Finding>> {
     findings.sort_by(|a, b| {
         a.path.cmp(&b.path).then(a.line.cmp(&b.line)).then(a.rule.name().cmp(b.rule.name()))
     });
-    Ok(findings)
+    Ok((findings, taint_index))
 }
 
 /// Recursively collect workspace-relative forward-slash paths of `.rs` files.

@@ -1,0 +1,74 @@
+//! Fixture: call-graph edges must survive path qualification. Every
+//! caller here reaches its callee through a qualified path (`Self::`,
+//! `crate::`, a `prelude` re-export) while a `use … as …` alias shadows
+//! the bare callee name — resolving the qualified call through the
+//! import-alias map would drop the edge, silencing the inversion findings
+//! and firing the delegating loops.
+
+use crate::util::spare as take_tenants_then_note;
+use crate::util::noop as checked_transform;
+use crate::util::noop2 as poll_step;
+
+pub struct Daemon;
+
+impl Daemon {
+    pub fn forward(d: &Daemon) {
+        let tenants = lock(&d.tenants);
+        let queue = lock(&d.queue); // REAL lock-order-inversion
+        route(&tenants, &queue);
+    }
+
+    // The inverted path spans a `Self::`-qualified call; the edge must go
+    // to the literal `take_tenants_then_note`, not through the alias.
+    pub fn backward_outer(d: &Daemon) {
+        let queue = lock(&d.queue);
+        Self::take_tenants_then_note(d); // REAL lock-order-inversion
+        drop(queue);
+    }
+
+    // Module-qualified free-helper acquisition (`sync::lock(`) counts the
+    // same as the bare helper call.
+    fn take_tenants_then_note(d: &Daemon) {
+        let tenants = sync::lock(&d.tenants);
+        note(&tenants);
+    }
+}
+
+// A `crate::`-qualified callee that polls the budget: the loop delegates,
+// so it stays silent — but only if the edge keeps the literal name.
+pub fn delegating_loop(parts: &[Part], budget: &ArmedBudget) -> Result<(), Stop> {
+    for part in parts {
+        crate::stages::checked_transform(part, budget)?;
+    }
+    Ok(())
+}
+
+fn checked_transform(part: &Part, budget: &ArmedBudget) -> Result<Out, Stop> {
+    budget.check("transform")?;
+    Ok(expensive_transform(part))
+}
+
+// Same shape through a `prelude` re-export.
+pub fn prelude_delegating_loop(parts: &[Part], budget: &ArmedBudget) -> Result<(), Stop> {
+    for part in parts {
+        prelude::poll_step(part, budget)?;
+    }
+    Ok(())
+}
+
+fn poll_step(part: &Part, budget: &ArmedBudget) -> Result<Out, Stop> {
+    budget.check("step")?;
+    Ok(expensive_transform(part))
+}
+
+// Control: a qualified edge to a non-polling callee must still fire —
+// qualification is not a blanket waiver.
+pub fn qualified_non_polling(parts: &[Part], budget: &ArmedBudget) {
+    for part in parts { // REAL budget-blind-loop
+        crate::stages::log_step(part, budget);
+    }
+}
+
+fn log_step(part: &Part, budget: &ArmedBudget) {
+    note(part);
+}

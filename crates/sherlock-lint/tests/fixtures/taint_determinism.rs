@@ -1,0 +1,92 @@
+//! Fixture: the `taint-determinism` rule — a nondeterministic value
+//! (entropy RNG, wall clock, hash iteration order, thread id, pointer
+//! address) flowing into a serialized output. Markers sit on the *sink*
+//! lines: findings anchor to the construction or persisting call, not to
+//! the source. Unmarked fns are controls for each sanitizer form.
+
+use std::collections::{BTreeMap, HashMap};
+
+// Direct flow: entropy-seeded RNG into an `Explanation` construction.
+pub fn tag_explanation() -> Explanation {
+    let mut rng = thread_rng();
+    let nonce = rng.next_u64();
+    Explanation { cause: nonce } // REAL taint-determinism
+}
+
+// Wall clock serialized into a `Response` — nothing in the statement
+// looks like deadline arithmetic, so the exemption does not apply.
+pub fn stamp(body: &str) -> Response {
+    let when = SystemTime::now();
+    Response::Stats { body, when } // REAL taint-determinism
+}
+
+// Control: deadline arithmetic is exempt — the clock value only feeds a
+// duration computation, never the serialized payload.
+pub fn armed(&self) -> Response {
+    let deadline = Instant::now() + self.budget;
+    let ok = check(deadline);
+    Response::Ready { ok }
+}
+
+// Hash iteration order serialized without a sort.
+pub fn ranked(causes: &HashMap<String, f64>) -> Explanation {
+    let names: Vec<String> = causes.keys().cloned().collect();
+    Explanation { causes: names } // REAL taint-determinism
+}
+
+// Control: a statement-level sort between the definition and the sink
+// cleans the binding at the use site.
+pub fn ranked_sorted(causes: &HashMap<String, f64>) -> Explanation {
+    let mut names: Vec<String> = causes.keys().cloned().collect();
+    names.sort();
+    Explanation { causes: names }
+}
+
+// Control: an ordered-container annotation canonicalizes on its own.
+pub fn canonical(causes: &HashMap<String, f64>) -> Explanation {
+    let ordered: BTreeMap<String, f64> = causes.iter().map(clone_pair).collect();
+    Explanation { causes: render(&ordered) }
+}
+
+// Interprocedural: the callee's fixed-point summary carries RNG taint
+// into the caller's sink.
+fn fresh_nonce() -> u64 {
+    thread_rng().next_u64()
+}
+
+pub fn labeled() -> Explanation {
+    Explanation { cause: fresh_nonce() } // REAL taint-determinism
+}
+
+// Control: a seed-derived stream inside the callee clears its summary.
+fn derived_nonce() -> u64 {
+    let raw = thread_rng().next_u64();
+    splitmix64(raw)
+}
+
+pub fn reproducible() -> Explanation {
+    Explanation { cause: derived_nonce() }
+}
+
+// Interprocedural sink: `persist` hands its argument straight to `save`,
+// so a tainted argument is a finding at the *call site*.
+fn persist(record: &Record, store: &ModelStore) {
+    store.save(record);
+}
+
+pub fn export(store: &ModelStore) {
+    let id = thread_rng().next_u64();
+    persist(&id, store); // REAL taint-determinism
+}
+
+// Thread identity persisted through a direct sink call.
+pub fn note_worker(store: &ModelStore) {
+    let who = thread::current();
+    store.save(who); // REAL taint-determinism
+}
+
+// Pointer formatting is an address source.
+pub fn debug_key(node: &Node) -> Explanation {
+    let key = format!("{:p}", node);
+    Explanation { cause: key } // REAL taint-determinism
+}

@@ -1,0 +1,71 @@
+//! Fixture: the `unisolated-panic` rule — panic sites reachable from a
+//! certified entry point (`explain_batch`, `handle_line`, `ingest`,
+//! `worker_loop`, …) with no isolation boundary on the path. Markers sit
+//! on the panic-site lines. Unmarked panic sites are controls: either an
+//! isolation wrapper shields them or no certified entry reaches them.
+
+// Entry with a direct unisolated site.
+pub fn explain_batch(&self, batches: &[Batch]) -> Vec<Explanation> {
+    let first = batches.first().unwrap(); // REAL unisolated-panic
+    route(first)
+}
+
+// One unisolated hop down the chain: explain_batch → route.
+fn route(batch: &Batch) -> Vec<Explanation> {
+    decode(batch).expect("decode failed") // REAL unisolated-panic
+}
+
+// Control: the entry's only panicking callee runs inside
+// `try_par_map_indexed`, which converts worker panics into an Err.
+pub fn worker_loop(&self, items: &[Item]) {
+    let out = try_par_map_indexed(policy, "drain", items, |_, item| shield(item));
+    drop(out);
+}
+
+fn shield(item: &Item) -> Step {
+    item.decoded().unwrap()
+}
+
+// Control: `catch_unwind` isolates the strict parser, but the dispatch
+// path below stays exposed.
+pub fn handle_line(&mut self, line: &str) -> Response {
+    let parsed = catch_unwind(|| parse_strict(line));
+    match parsed {
+        Ok(cmd) => dispatch(cmd),
+        Err(_) => Response::Error,
+    }
+}
+
+fn parse_strict(line: &str) -> Command {
+    line.split(':').next().unwrap().into()
+}
+
+// Reached from `handle_line` outside any boundary.
+fn dispatch(cmd: Command) -> Response {
+    let handler = TABLE[cmd.index]; // REAL unisolated-panic
+    handler(cmd)
+}
+
+// Two unisolated hops from the daemon entry: ingest → drain_frames →
+// flush_frame.
+pub fn ingest(&mut self, chunk: &[u8]) {
+    self.buf.extend(chunk);
+    drain_frames(&mut self.buf);
+}
+
+fn drain_frames(buf: &mut Vec<u8>) {
+    while has_frame(buf) {
+        flush_frame(buf);
+    }
+}
+
+fn flush_frame(buf: &mut Vec<u8>) {
+    let head = buf.first().copied().unwrap(); // REAL unisolated-panic
+    emit(head);
+}
+
+// Control: a panic site in a fn no certified entry reaches is the
+// token-level `panic-path` rule's business, not this rule's.
+fn orphan_scratch(bytes: &[u8]) -> u8 {
+    bytes[0]
+}

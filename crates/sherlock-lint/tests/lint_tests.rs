@@ -180,6 +180,39 @@ fn lock_order_inversion_fixture_flags_exactly_the_marked_lines() {
 }
 
 #[test]
+fn qualified_call_edges_survive_alias_shadowing() {
+    // The fixture aliases every callee's bare name (`use … as …`), so the
+    // edges only exist if `Self::`-, `crate::`- and `prelude::`-qualified
+    // calls keep their literal target instead of the alias resolution.
+    let (source, findings) = scan_fixture("call_graph_qualified.rs", FileClass::Lib);
+    let marked = |tag: &str| -> Vec<u32> {
+        source
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains(&format!("// REAL {tag}")))
+            .map(|(i, _)| i as u32 + 1)
+            .collect()
+    };
+    let reported = |rule: RuleKind| -> Vec<u32> {
+        let mut lines: Vec<u32> =
+            findings.iter().filter(|f| f.rule == rule).map(|f| f.line).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    };
+    // The inversion spans a `Self::`-qualified call and a module-qualified
+    // `sync::lock(` acquisition.
+    assert_eq!(
+        reported(RuleKind::LockOrderInversion),
+        marked("lock-order-inversion"),
+        "{findings:#?}"
+    );
+    // Loops delegating to polling callees through `crate::`/`prelude::`
+    // paths are silent; the qualified edge to a non-polling callee fires.
+    assert_eq!(reported(RuleKind::BudgetBlindLoop), marked("budget-blind-loop"), "{findings:#?}");
+}
+
+#[test]
 fn guard_across_blocking_fixture_flags_exactly_the_marked_lines() {
     let (source, findings) = scan_fixture("guard_across_blocking.rs", FileClass::Lib);
     assert_matches_markers(&source, &findings, RuleKind::GuardAcrossBlocking);
@@ -287,6 +320,7 @@ fn github_annotations_escape_workflow_metacharacters() {
         line: 7,
         snippet: "let x = 100%;".to_string(),
         message: "multi\nline".to_string(),
+        trace: Vec::new(),
     };
     assert_eq!(
         f.render_github(),
@@ -356,4 +390,62 @@ fn baseline_absorbs_fixture_findings_across_line_drift() {
     let grown = scan_source("panic_path.rs", &grown_src, FileClass::Lib, &RuleKind::ALL);
     let diff = baseline.diff(&grown);
     assert_eq!(diff.new.len(), 1, "{:#?}", diff.new);
+}
+
+#[test]
+fn taint_determinism_fixture_matches_markers() {
+    let (source, findings) = scan_fixture("taint_determinism.rs", FileClass::Lib);
+    assert_matches_markers(&source, &findings, RuleKind::TaintDeterminism);
+}
+
+#[test]
+fn taint_determinism_findings_carry_source_to_sink_traces() {
+    use sherlock_lint::rules::TraceKind;
+    let (_, findings) = scan_fixture("taint_determinism.rs", FileClass::Lib);
+    let taint: Vec<&Finding> =
+        findings.iter().filter(|f| f.rule == RuleKind::TaintDeterminism).collect();
+    assert!(!taint.is_empty());
+    for f in taint {
+        let last = f.trace.last().unwrap_or_else(|| panic!("empty trace: {f:#?}"));
+        assert_eq!(last.kind, TraceKind::Sink, "{f:#?}");
+        assert!(
+            f.trace.iter().any(|s| s.kind == TraceKind::SanitizerMiss),
+            "no sanitizer-miss hop: {f:#?}"
+        );
+    }
+}
+
+#[test]
+fn unisolated_panic_fixture_matches_markers() {
+    let (source, findings) = scan_fixture("unisolated_panic.rs", FileClass::Lib);
+    assert_matches_markers(&source, &findings, RuleKind::UnisolatedPanic);
+}
+
+#[test]
+fn unisolated_panic_findings_carry_entry_to_panic_traces() {
+    use sherlock_lint::rules::TraceKind;
+    let (_, findings) = scan_fixture("unisolated_panic.rs", FileClass::Lib);
+    let panics: Vec<&Finding> =
+        findings.iter().filter(|f| f.rule == RuleKind::UnisolatedPanic).collect();
+    assert!(!panics.is_empty());
+    for f in panics {
+        let first = f.trace.first().unwrap_or_else(|| panic!("empty trace: {f:#?}"));
+        assert_eq!(first.kind, TraceKind::Entry, "{f:#?}");
+        assert_eq!(f.trace.last().map(|s| s.kind), Some(TraceKind::Panic), "{f:#?}");
+    }
+}
+
+/// The taint layer only certifies library code: tests and binaries may
+/// panic and may be nondeterministic.
+#[test]
+fn taint_rules_skip_non_lib_files() {
+    for fixture_name in ["taint_determinism.rs", "unisolated_panic.rs"] {
+        let (_, findings) = scan_fixture(fixture_name, FileClass::Other);
+        assert!(
+            findings.iter().all(
+                |f| f.rule != RuleKind::TaintDeterminism && f.rule != RuleKind::UnisolatedPanic
+            ),
+            "{fixture_name}: {findings:#?}"
+        );
+    }
 }

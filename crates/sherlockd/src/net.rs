@@ -116,6 +116,9 @@ impl<R: Read> LineReader<R> {
         while !chunk.is_empty() {
             match chunk.iter().position(|&b| b == b'\n') {
                 Some(pos) => {
+                    // `pos` indexes a found byte, so both splits are in
+                    // bounds — split_at keeps that fact checker-visible.
+                    let (head, rest) = chunk.split_at(pos);
                     if self.discarding {
                         self.discarded += pos;
                         self.pending.push_back(ReadEvent::Oversize { dropped: self.discarded });
@@ -126,14 +129,12 @@ impl<R: Read> LineReader<R> {
                             .push_back(ReadEvent::Oversize { dropped: self.buf.len() + pos });
                         self.buf.clear();
                     } else {
-                        // sherlock-lint: allow(panic-path): pos comes from a find() on chunk
-                        self.buf.extend_from_slice(&chunk[..pos]);
+                        self.buf.extend_from_slice(head);
                         let line = String::from_utf8_lossy(&self.buf).into_owned();
                         self.pending.push_back(ReadEvent::Line(line));
                         self.buf.clear();
                     }
-                    // sherlock-lint: allow(panic-path): pos indexes a found byte, so pos + 1 <= chunk.len()
-                    chunk = &chunk[pos + 1..];
+                    chunk = rest.get(1..).unwrap_or(&[]);
                 }
                 None => {
                     if self.discarding {

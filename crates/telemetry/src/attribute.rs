@@ -126,6 +126,12 @@ impl Schema {
         &self.attrs[id]
     }
 
+    /// [`attr`](Self::attr) for callers that must stay panic-free on an
+    /// out-of-range id (daemon ingest, row append).
+    pub fn get(&self, id: usize) -> Option<&AttributeMeta> {
+        self.attrs.get(id)
+    }
+
     /// Positional id for a name, if present.
     pub fn id_of(&self, name: &str) -> Option<usize> {
         self.index.get(name).copied()

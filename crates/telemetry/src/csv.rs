@@ -191,7 +191,7 @@ pub fn parse_header_lossy(header: &str, warnings: &mut Vec<IngestWarning>) -> Re
         });
     }
     let mut schema = Schema::new();
-    for field in &header_fields[1..] {
+    for field in header_fields.iter().skip(1) {
         let (name, kind) = match field.rsplit_once(':') {
             Some((name, tag)) => match AttributeKind::from_tag(tag) {
                 Some(kind) => (name.to_string(), kind),
@@ -260,20 +260,23 @@ pub fn parse_line_lossy(
             fields.truncate(expected);
         }
     }
-    let timestamp = match parse_num(&fields[0], line_no) {
+    let ts_text = fields.first().map(String::as_str).unwrap_or("");
+    let timestamp = match parse_num(ts_text, line_no) {
         Ok(t) if t.is_finite() => t,
         _ => {
             warnings.push(IngestWarning::SkippedRow {
                 line: line_no,
-                reason: format!("unusable timestamp {:?}", fields[0]),
+                reason: format!("unusable timestamp {ts_text:?}"),
             });
             return None;
         }
     };
     let mut cells = Vec::with_capacity(n_attrs);
-    for (attr_id, field) in fields[1..].iter().enumerate() {
-        let attr_name = || schema.attr(attr_id).name.clone();
-        let cell = match schema.attr(attr_id).kind {
+    for (attr_id, field) in fields.iter().skip(1).enumerate() {
+        // Arity repair capped the loop at n_attrs, so the id is in range.
+        let Some(meta) = schema.get(attr_id) else { break };
+        let attr_name = || meta.name.clone();
+        let cell = match meta.kind {
             AttributeKind::Numeric => match parse_num(field, line_no) {
                 Ok(v) => {
                     if !v.is_finite() {

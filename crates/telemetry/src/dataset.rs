@@ -114,9 +114,11 @@ impl Dataset {
                 found: values.len(),
             });
         }
-        for (id, &value) in values.iter().enumerate() {
-            let attr = self.schema.attr(id).clone();
-            self.columns[id].push(value, &attr)?;
+        // Arity is checked above, so the three zips stay in lockstep.
+        for ((column, &value), (_, attr)) in
+            self.columns.iter_mut().zip(values.iter()).zip(self.schema.iter())
+        {
+            column.push(value, attr)?;
         }
         self.timestamps.push(timestamp);
         Ok(())
@@ -125,10 +127,14 @@ impl Dataset {
     /// Intern `label` in the dictionary of categorical attribute `attr_id`,
     /// returning a [`Value::Cat`] suitable for [`push_row`](Self::push_row).
     pub fn intern(&mut self, attr_id: usize, label: &str) -> Result<Value> {
-        match &mut self.columns[attr_id] {
-            Column::Categorical { dict, .. } => Ok(Value::Cat(dict.intern(label))),
-            Column::Numeric(_) => Err(TelemetryError::KindMismatch {
-                attribute: self.schema.attr(attr_id).name.clone(),
+        match self.columns.get_mut(attr_id) {
+            Some(Column::Categorical { dict, .. }) => Ok(Value::Cat(dict.intern(label))),
+            _ => Err(TelemetryError::KindMismatch {
+                attribute: self
+                    .schema
+                    .get(attr_id)
+                    .map(|meta| meta.name.clone())
+                    .unwrap_or_else(|| format!("<attr {attr_id}>")),
                 expected: "categorical",
             }),
         }
